@@ -1,0 +1,66 @@
+"""Ablation — working-set-transfer termination thresholds (Section 3.2.2).
+
+Gemini stops the transfer once the primary's hit ratio exceeds h (the
+suggested default: pre-failure ratio minus ε) or the secondary's miss
+ratio exceeds m = 1 - h + ε. This ablation sweeps h explicitly:
+
+* h low  -> the transfer ends almost immediately (few secondary reads);
+* h high -> the transfer runs longer, moving more of the working set and
+  saving data-store reads — the cost/benefit dial of Section 3.2.2.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.scenarios import YcsbScenario, build_ycsb_experiment
+from repro.recovery.policies import GEMINI_O_W
+
+from benchmarks.common import emit, run_once
+from repro.metrics.report import format_table
+
+
+def run_with_threshold(h):
+    policy = dataclasses.replace(GEMINI_O_W, wst_hit_threshold=h,
+                                 name=f"Gemini-O+W(h={h})")
+    scenario = YcsbScenario(
+        policy=policy, update_fraction=0.05, threads=4,
+        records=6_000, zipf_theta=0.8, outage=10.0, tail=20.0,
+        switch_fraction=1.0)  # evolving pattern: the transfer matters
+    cluster, workload, experiment = build_ycsb_experiment(scenario)
+    result = experiment.run()
+    wst = {"hits": 0, "misses": 0}
+    for client in cluster.clients:
+        counts = client.wst.counts("cache-0")
+        wst["hits"] += counts["hits"]
+        wst["misses"] += counts["misses"]
+    return {
+        "wst_lookups": wst["hits"] + wst["misses"],
+        "wst_hits": wst["hits"],
+        "store_reads": cluster.datastore.reads,
+        "stale": result.oracle.stale_reads,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-thresholds")
+def bench_ablation_wst_thresholds(benchmark):
+    def run():
+        return {h: run_with_threshold(h) for h in (0.30, 0.95)}
+
+    cells = run_once(benchmark, run)
+    rows = [[h, cell["wst_lookups"], cell["wst_hits"],
+             cell["store_reads"], cell["stale"]]
+            for h, cell in sorted(cells.items())]
+    emit("ablation_thresholds", format_table(
+        ["h threshold", "WST lookups", "WST hits", "store reads",
+         "stale reads"],
+        rows, title="Ablation: WST termination threshold h"))
+
+    low, high = cells[0.30], cells[0.95]
+    # Consistency is threshold-independent.
+    assert low["stale"] == 0 and high["stale"] == 0
+    # A higher h keeps the transfer alive longer -> more lookups...
+    assert high["wst_lookups"] >= low["wst_lookups"]
+    # ...and the extra secondary hits offload the data store.
+    assert high["store_reads"] <= low["store_reads"] + 500
+    benchmark.extra_info["cells"] = {str(k): v for k, v in cells.items()}

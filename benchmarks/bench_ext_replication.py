@@ -1,0 +1,100 @@
+"""Section 7 extension — replica synchronization strategies.
+
+The paper's future work asks how to keep multiple replicas of a fragment
+identical under evictions and sketches two designs: broadcast the
+master's eviction decisions, or forward the full request sequence (same
+deterministic policy => same decisions). This bench measures the
+trade-off the paper leaves open: mirror-message overhead vs divergence.
+
+Expected shape: FORWARD pays ~one mirror message per request per slave
+and achieves zero divergence; BROADCAST pays only per insert/eviction
+and stays identical in content too (recency drift only), so broadcast
+wins on messages at equal divergence — until slaves are memory-squeezed.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.instance import CacheInstance
+from repro.cache.replication import MirroredReplicaGroup, SyncStrategy
+from repro.sim.core import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.types import Value
+from repro.workload.distributions import ZipfianGenerator
+
+from benchmarks.common import emit, run_once
+from repro.metrics.report import format_table
+
+N_KEYS = 2000
+N_OPS = 8_000
+MEMORY = 60_000  # forces steady evictions (~500 entries of ~156 B)
+
+
+def run_strategy(strategy):
+    sim = Simulator()
+    network = Network(sim, LatencyModel(random.Random(1), base=5e-5,
+                                        jitter=0.0))
+    master = CacheInstance(sim, "master", memory_bytes=MEMORY)
+    slaves = [CacheInstance(sim, f"slave-{i}", memory_bytes=MEMORY)
+              for i in range(2)]
+    network.register(master)
+    for slave in slaves:
+        network.register(slave)
+    group = MirroredReplicaGroup(sim, network, master, slaves,
+                                 strategy=strategy)
+    zipf = ZipfianGenerator(N_KEYS, theta=0.9, rng=random.Random(7))
+    rng = random.Random(8)
+
+    def workload():
+        from repro.types import CACHE_MISS
+        for __ in range(N_OPS):
+            key = f"key-{zipf.next():06d}"
+            roll = rng.random()
+            if roll < 0.80:
+                value = yield from group.get(key)
+                if value is CACHE_MISS:
+                    yield from group.set(key, Value(1, 100))
+            elif roll < 0.95:
+                yield from group.set(key, Value(1, 100))
+            else:
+                yield from group.delete(key)
+
+    process = sim.process(workload())
+    sim.run_until(process)
+    sim.run(until=sim.now + 2.0)  # drain eviction broadcasts
+    return {
+        "mirror_messages": group.mirror_messages,
+        "mirror_per_op": group.mirror_messages / N_OPS,
+        "divergence": group.divergence(),
+        "master_evictions": master.stats.evictions,
+        "sizes": group.replica_sizes(),
+    }
+
+
+@pytest.mark.benchmark(group="ext-replication")
+def bench_ext_replication_strategies(benchmark):
+    def run():
+        return {strategy.value: run_strategy(strategy)
+                for strategy in SyncStrategy}
+
+    cells = run_once(benchmark, run)
+    rows = [[name, cell["mirror_messages"], f"{cell['mirror_per_op']:.2f}",
+             f"{cell['divergence']:.4f}", cell["master_evictions"]]
+            for name, cell in cells.items()]
+    emit("ext_replication", format_table(
+        ["strategy", "mirror messages", "mirror msgs/op", "divergence",
+         "master evictions"],
+        rows, title="Section 7 extension: replica sync strategies"))
+
+    broadcast = cells[SyncStrategy.BROADCAST_EVICTIONS.value]
+    forward = cells[SyncStrategy.FORWARD_REQUESTS.value]
+    # Evictions actually happened (the regime the question is about).
+    assert broadcast["master_evictions"] > 0
+    # Forward is divergence-free by construction.
+    assert forward["divergence"] < 0.01
+    # Broadcast stays near-identical in content...
+    assert broadcast["divergence"] < 0.10
+    # ...while sending fewer mirror messages than request forwarding.
+    assert broadcast["mirror_messages"] < forward["mirror_messages"]
+    benchmark.extra_info["cells"] = cells

@@ -1,0 +1,77 @@
+"""Figure 1 — stale reads/second after instances recover from a failure.
+
+Paper: 20 of 100 instances recover from a 10 s and a 100 s failure under
+a Facebook-like trace served by a persistent cache with no recovery
+protocol (= our StaleCache). The stale-read rate peaks right after
+recovery (~6 % of reads for the 100 s outage) and decays as write-around
+deletes repair entries. Gemini reduces the count to zero.
+
+Scaled: 2 of 10 instances, 5 s and 20 s outages, 4 k records.
+"""
+
+import pytest
+
+from repro.harness.scenarios import build_facebook_experiment
+from repro.recovery.policies import GEMINI_O_W, STALE_CACHE
+
+from benchmarks.common import emit, run_once
+from repro.metrics.report import format_table
+
+
+def run_outage(policy, outage):
+    cluster, workload, experiment, targets = build_facebook_experiment(
+        policy, num_instances=10, failed_fraction=0.2, records=4000,
+        request_rate=2500.0, fail_at=8.0, outage=outage, tail=20.0)
+    result = experiment.run()
+    recover_at = 8.0 + outage
+    return result, recover_at
+
+
+@pytest.mark.benchmark(group="fig01")
+def bench_fig01_stale_reads_after_recovery(benchmark):
+    def run():
+        rows = []
+        series_by_outage = {}
+        for outage in (4.0, 15.0):
+            result, recover_at = run_outage(STALE_CACHE, outage)
+            series = result.oracle.stale_reads_per_second()
+            series_by_outage[outage] = (series, recover_at, result)
+            fractions = result.oracle.stale_fraction_per_second()
+            peak_t = max(series, key=series.get) if series else None
+            rows.append([
+                f"{outage:.0f}s failure",
+                result.oracle.stale_reads,
+                result.oracle.peak_stale_rate(),
+                f"{max(fractions.values(), default=0):.1%}",
+                peak_t,
+            ])
+        gemini_result, __ = run_outage(GEMINI_O_W, 15.0)
+        rows.append(["Gemini-O+W 15s failure",
+                     gemini_result.oracle.stale_reads, 0.0, "0.0%", None])
+        return rows, series_by_outage, gemini_result
+
+    rows, series_by_outage, gemini_result = run_once(benchmark, run)
+    emit("fig01_stale_reads", format_table(
+        ["scenario", "total stale reads", "peak stale/s", "peak stale %",
+         "peak at (s)"],
+        rows, title="Figure 1: stale reads after recovery (StaleCache vs "
+                    "Gemini)"))
+
+    # Shape assertions ---------------------------------------------------
+    short_series, short_recover, __ = series_by_outage[4.0]
+    long_series, long_recover, long_result = series_by_outage[15.0]
+    # 1. StaleCache produces stale reads; Gemini produces none.
+    assert sum(long_series.values()) > 0
+    assert gemini_result.oracle.stale_reads == 0
+    # 2. Stale reads appear only after recovery.
+    assert all(t >= long_recover - 1.0 for t in long_series)
+    # 3. The longer outage dirties more keys -> more stale reads.
+    assert sum(long_series.values()) > sum(short_series.values())
+    # 4. The count peaks near recovery and decays afterwards.
+    peak_time = max(long_series, key=long_series.get)
+    assert long_recover - 1.0 <= peak_time <= long_recover + 6.0
+    tail = [c for t, c in long_series.items() if t >= peak_time + 10.0]
+    if tail:
+        assert max(tail) < long_series[peak_time]
+    benchmark.extra_info["stale_long"] = sum(long_series.values())
+    benchmark.extra_info["stale_short"] = sum(short_series.values())

@@ -1,0 +1,80 @@
+"""Figure 6 — cluster cache hit ratio before/during/after a mass failure.
+
+Paper: 100 instances under the Facebook-like workload; 20 fail at t=50 s
+for 100 s. The hit ratio dips while secondaries warm, then: Gemini-O+W
+and StaleCache restore it immediately at recovery (StaleCache by serving
+stale data), while VolatileCache stays depressed until the wiped
+instances re-warm from the data store.
+
+Scaled: 10 instances, 2 fail at t=10 s for 20 s.
+"""
+
+import pytest
+
+from repro.harness.scenarios import build_facebook_experiment
+from repro.recovery.policies import GEMINI_O_W, STALE_CACHE, VOLATILE_CACHE
+
+from benchmarks.common import emit, mean_y, run_once, series_window
+from repro.metrics.report import format_table, render_series
+
+FAIL_AT, OUTAGE, TAIL = 8.0, 15.0, 20.0
+RECOVER_AT = FAIL_AT + OUTAGE
+
+
+def run_policy(policy):
+    cluster, workload, experiment, targets = build_facebook_experiment(
+        policy, num_instances=10, failed_fraction=0.2, records=4000,
+        request_rate=2500.0, fail_at=FAIL_AT, outage=OUTAGE, tail=TAIL)
+    result = experiment.run()
+    return result
+
+
+@pytest.mark.benchmark(group="fig06")
+def bench_fig06_cluster_hit_ratio_timeline(benchmark):
+    def run():
+        return {policy.name: run_policy(policy)
+                for policy in (VOLATILE_CACHE, STALE_CACHE, GEMINI_O_W)}
+
+    results = run_once(benchmark, run)
+    phases = {
+        "normal": (0.0, FAIL_AT),
+        "transient": (FAIL_AT + 2, RECOVER_AT),
+        "post-recovery": (RECOVER_AT, RECOVER_AT + 5),
+        "steady tail": (RECOVER_AT + 10, RECOVER_AT + TAIL),
+    }
+    rows = []
+    summary = {}
+    charts = []
+    for name, result in results.items():
+        series = result.cluster_hit_ratio_series()
+        cells = [name]
+        for __, (start, end) in phases.items():
+            cells.append(f"{mean_y(series_window(series, start, end)):.3f}")
+        cells.append(result.oracle.stale_reads)
+        rows.append(cells)
+        summary[name] = {
+            label: mean_y(series_window(series, start, end))
+            for label, (start, end) in phases.items()}
+        charts.append(render_series(
+            series, title=f"cluster hit ratio — {name}", height=8))
+    emit("fig06_cluster_hit_ratio", format_table(
+        ["policy", *phases.keys(), "stale reads"], rows,
+        title="Figure 6: cluster hit ratio around a 20-instance-% failure")
+        + "\n\n" + "\n\n".join(charts))
+
+    post = "post-recovery"
+    transient = "transient"
+    normal = "normal"
+    # 1. Everyone dips in transient mode (empty secondaries).
+    for name in summary:
+        assert summary[name][transient] < summary[name][normal]
+    # 2. Gemini-O+W and StaleCache restore immediately after recovery.
+    assert summary["Gemini-O+W"][post] > summary["Gemini-O+W"][transient]
+    assert summary["Gemini-O+W"][post] >= summary[VOLATILE_CACHE.name][post]
+    # 3. VolatileCache is the slowest to restore.
+    assert summary[VOLATILE_CACHE.name][post] <= summary["StaleCache"][post]
+    # 4. Only StaleCache pays with stale reads.
+    assert results["StaleCache"].oracle.stale_reads > 0
+    assert results["Gemini-O+W"].oracle.stale_reads == 0
+    assert results[VOLATILE_CACHE.name].oracle.stale_reads == 0
+    benchmark.extra_info["summary"] = summary

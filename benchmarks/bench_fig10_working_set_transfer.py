@@ -1,0 +1,89 @@
+"""Figure 10 — hit-ratio improvement of the working-set transfer
+(Gemini-I+W minus Gemini-I) when the access pattern evolves during the
+failure: 20 % and 100 % pattern changes, low and high load.
+
+Paper shape: the transfer helps most (larger, longer-lived difference)
+for the 100 % change — Gemini-I must recompute the entire new working
+set at the data store, while +W copies it from the secondaries that
+served it during the outage. The difference lasts longer under high load.
+"""
+
+import pytest
+
+from repro.harness.scenarios import (
+    HIGH_LOAD_THREADS,
+    LOW_LOAD_THREADS,
+    YcsbScenario,
+    build_ycsb_experiment,
+)
+from repro.recovery.policies import GEMINI_I, GEMINI_I_W
+
+from benchmarks.common import emit, mean_y, run_once, series_window
+from repro.metrics.report import format_table
+
+FAIL_AT, OUTAGE = 8.0, 10.0
+RECOVER_AT = FAIL_AT + OUTAGE
+
+
+def run_cell(policy, switch_fraction, threads, seed=42):
+    scenario = YcsbScenario(
+        policy=policy, update_fraction=0.05, threads=threads,
+        records=6_000, zipf_theta=0.8, fail_at=FAIL_AT, outage=OUTAGE,
+        tail=20.0, switch_fraction=switch_fraction, seed=seed)
+    cluster, workload, experiment = build_ycsb_experiment(scenario)
+    result = experiment.run()
+    return {
+        "series": result.instance_hit_series["cache-0"],
+        "stale": result.oracle.stale_reads,
+        "store_reads": cluster.datastore.reads,
+    }
+
+
+def difference_series(with_w, without_w):
+    """Per-second hit-ratio difference after recovery (Figure 10's y)."""
+    a = dict(with_w)
+    b = dict(without_w)
+    return [(t, a[t] - b[t]) for t in sorted(set(a) & set(b))
+            if t >= RECOVER_AT]
+
+
+@pytest.mark.benchmark(group="fig10")
+def bench_fig10_working_set_transfer_gain(benchmark):
+    def run():
+        cells = {}
+        for load_name, threads in (("low", LOW_LOAD_THREADS),
+                                   ("high", HIGH_LOAD_THREADS)):
+            for switch in (0.2, 1.0):
+                cells[(load_name, switch)] = {
+                    "I+W": run_cell(GEMINI_I_W, switch, threads),
+                    "I": run_cell(GEMINI_I, switch, threads),
+                }
+        return cells
+
+    cells = run_once(benchmark, run)
+    rows = []
+    gains = {}
+    for (load_name, switch), pair in cells.items():
+        diff = difference_series(pair["I+W"]["series"], pair["I"]["series"])
+        early = mean_y([(t, d) for t, d in diff
+                        if t < RECOVER_AT + 8])
+        gains[(load_name, switch)] = early
+        saved = pair["I"]["store_reads"] - pair["I+W"]["store_reads"]
+        rows.append([load_name, f"{switch:.0%}", f"{early:+.3f}", saved])
+    emit("fig10_working_set_transfer", format_table(
+        ["load", "pattern change", "mean hit-ratio gain (first 8s)",
+         "store reads saved by +W"],
+        rows, title="Figure 10: Gemini-I+W minus Gemini-I after recovery"))
+
+    # Consistency everywhere.
+    for pair in cells.values():
+        assert pair["I+W"]["stale"] == 0 and pair["I"]["stale"] == 0
+    # The transfer helps for the full switch (the paper's headline)...
+    assert gains[("low", 1.0)] > 0.005
+    assert gains[("high", 1.0)] > 0.005
+    # ...and more than for the partial switch.
+    assert gains[("low", 1.0)] >= gains[("low", 0.2)] - 0.02
+    # +W offloads the data store in every cell.
+    for pair in cells.values():
+        assert pair["I+W"]["store_reads"] < pair["I"]["store_reads"]
+    benchmark.extra_info["gains"] = {str(k): v for k, v in gains.items()}

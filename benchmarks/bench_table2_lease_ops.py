@@ -1,0 +1,113 @@
+"""Table 2 companion — micro-benchmarks of the IQ lease machinery.
+
+Table 2 itself is a semantic compatibility matrix (asserted exhaustively
+in tests/cache/test_leases.py). Here we measure the mechanism's cost:
+lease operations must be cheap enough that "its client detects stale
+cache entries and deletes them using a simple counter mechanism" stays an
+O(1)-per-request claim. These are true pytest-benchmark micro-benches
+(many rounds), unlike the simulation benches in this directory.
+"""
+
+import pytest
+
+from repro.cache.instance import CacheInstance, CacheOp
+from repro.cache.leases import LeaseTable, Redlease
+from repro.errors import LeaseBackoff
+from repro.sim.core import Simulator
+from repro.types import Value
+
+
+@pytest.fixture
+def table():
+    now = [0.0]
+    return LeaseTable(lambda: now[0], iq_lifetime=10.0), now
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_i_lease_grant_release_cycle(benchmark, table):
+    leases, __ = table
+
+    def cycle():
+        lease = leases.acquire_i("key")
+        leases.release_i("key", lease.token)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_q_lease_grant_release_cycle(benchmark, table):
+    leases, __ = table
+
+    def cycle():
+        lease = leases.acquire_q("key")
+        leases.release_q("key", lease.token)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_q_voids_i_cycle(benchmark, table):
+    """The Table 2 'void I & grant Q' row."""
+    leases, __ = table
+
+    def cycle():
+        i = leases.acquire_i("key")
+        q = leases.acquire_q("key")
+        leases.release_q("key", q.token)
+        assert not leases.check_i("key", i.token)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_backoff_detection(benchmark, table):
+    """The 'back off' rows: detecting an incompatible request."""
+    leases, __ = table
+    leases.acquire_i("key")
+
+    def attempt():
+        try:
+            leases.acquire_i("key")
+        except LeaseBackoff:
+            pass
+
+    benchmark(attempt)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_redlease_cycle(benchmark):
+    now = [0.0]
+    red = Redlease(lambda: now[0], lifetime=10.0)
+
+    def cycle():
+        lease = red.acquire("dirty-list-0")
+        red.release("dirty-list-0", lease.token)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_instance_iqget_hit_path(benchmark):
+    """Whole-instance hot path: a hit under the config-id check."""
+    sim = Simulator()
+    instance = CacheInstance(sim, "c", memory_bytes=1 << 20)
+    instance.handle_request(CacheOp(op="set", key="k", value=Value(1, 100)))
+    op = CacheOp(op="iqget", key="k")
+    benchmark(instance.handle_request, op)
+
+
+@pytest.mark.benchmark(group="table2-leases")
+def bench_instance_miss_fill_cycle(benchmark):
+    """Miss -> I grant -> iqset fill, the full IQ read protocol."""
+    sim = Simulator()
+    instance = CacheInstance(sim, "c", memory_bytes=1 << 20)
+    value = Value(1, 100)
+
+    def cycle():
+        kind, token = instance.handle_request(CacheOp(op="iqget", key="k"))
+        assert kind == "miss"
+        instance.handle_request(CacheOp(op="iqset", key="k", value=value,
+                                        token=token))
+        instance.handle_request(CacheOp(op="delete", key="k"))
+
+    benchmark(cycle)

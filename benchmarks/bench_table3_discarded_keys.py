@@ -1,0 +1,96 @@
+"""Table 3 — keys discarded when a secondary fails during the outage.
+
+Paper: two instances (cache-1 then cache-2) fail one after the other;
+fragments of cache-1 whose secondary landed on cache-2 lose their dirty
+lists and must be discarded when cache-1 recovers. With f fragments over
+n instances and c entries per fragment, at most ceil(f / (n*(n-1))) * c
+keys are discarded; in practice slightly fewer, because a write may have
+already deleted an entry that would otherwise need discarding.
+
+Paper numbers (10 M keys, 5 instances): 975 k / 487 k / 487 k discarded
+for 10 / 100 / 1000 fragments. Scaled: 20 k keys, 5 instances, fragments
+in {10, 50, 250}.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.scenarios import HIGH_LOAD_THREADS, YcsbScenario, build_ycsb_experiment
+from repro.recovery.policies import GEMINI_O
+from repro.sim.failures import FailureSchedule
+
+from benchmarks.common import emit, run_once
+from repro.metrics.report import format_table
+
+RECORDS = 10_000
+INSTANCES = 5
+
+
+def run_fragments(total_fragments):
+    scenario = YcsbScenario(
+        policy=GEMINI_O, update_fraction=0.01, threads=HIGH_LOAD_THREADS,
+        records=RECORDS, zipf_theta=0.8, num_instances=INSTANCES,
+        fragments_per_instance=total_fragments // INSTANCES,
+        fail_at=8.0, outage=20.0, tail=5.0,
+        targets=("cache-0",),
+        extra_failures=(
+            # The second failure hits while cache-0 is still down and
+            # lasts past cache-0's recovery (the Table 3 condition).
+            FailureSchedule(at=14.0, duration=20.0, targets=("cache-1",)),
+        ),
+    )
+    cluster, workload, experiment = build_ycsb_experiment(scenario)
+
+    measured = {}
+
+    def measure():
+        # Right after cache-0 recovered (t=28) count its entries doomed
+        # by the floor bumps of its unrecoverable fragments.
+        measured["discarded"] = cluster.count_invalid_entries("cache-0")
+        measured["valid"] = cluster.count_valid_entries("cache-0")
+
+    cluster.sim.schedule_at(29.5, measure)
+    result = experiment.run()
+    active_keys = workload.keyspace.active_size
+    per_fragment = active_keys / total_fragments
+    theoretical_max = math.ceil(
+        total_fragments / (INSTANCES * (INSTANCES - 1))) * per_fragment
+    return {
+        "discarded": measured.get("discarded", 0),
+        "valid": measured.get("valid", 0),
+        "theoretical_max": theoretical_max,
+        "stale": result.oracle.stale_reads,
+        "fragments_discarded": cluster.coordinator.fragments_discarded,
+    }
+
+
+@pytest.mark.benchmark(group="table3")
+def bench_table3_discarded_keys(benchmark):
+    def run():
+        return {f: run_fragments(f) for f in (10, 50, 150)}
+
+    cells = run_once(benchmark, run)
+    rows = [[f, cells[f]["discarded"], f"{cells[f]['theoretical_max']:.0f}",
+             cells[f]["fragments_discarded"], cells[f]["stale"]]
+            for f in sorted(cells)]
+    emit("table3_discarded_keys", format_table(
+        ["total fragments", "keys discarded", "theoretical max",
+         "fragments discarded", "stale reads"],
+        rows, title="Table 3: keys discarded after a cascading failure"))
+
+    for f, cell in cells.items():
+        # Consistency survives the cascade.
+        assert cell["stale"] == 0
+        # Some fragments were genuinely unrecoverable...
+        assert cell["fragments_discarded"] >= 1
+        # ...and the discarded-key count respects the paper's bound,
+        # strictly below it because writes already deleted some entries.
+        assert 0 < cell["discarded"] <= cell["theoretical_max"]
+    # The paper's headline: with few fragments the discard granularity is
+    # coarse — 10 fragments discard (proportionally) more than 250.
+    frac = {f: cells[f]["discarded"] / cells[f]["theoretical_max"]
+            for f in cells}
+    assert cells[10]["theoretical_max"] > cells[150]["theoretical_max"]
+    benchmark.extra_info["cells"] = {str(k): v for k, v in cells.items()}
+    benchmark.extra_info["fractions"] = {str(k): v for k, v in frac.items()}

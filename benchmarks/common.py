@@ -1,0 +1,43 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the evaluation: it runs
+the scaled scenario once (``run_once``), prints the same rows/series the
+paper reports (also appended to ``benchmarks/results/``), asserts the
+*shape* of the result (who wins, roughly by how much, where crossovers
+fall), and reports the run's wall time through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are minutes-long simulations; statistical repetition happens
+    *inside* the simulation (thousands of sessions), not across rounds.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure/table reproduction and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(banner + text + "\n")
+
+
+def series_window(series, start: float, end: float):
+    """Slice an (x, y) series to start <= x < end."""
+    return [(x, y) for x, y in series if start <= x < end]
+
+
+def mean_y(series) -> float:
+    values = [y for __, y in series]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cascading failures and the discard protocol (Section 3.2.4 / Table 3).
+
+cache-0 fails and its fragments get secondary replicas. Before it
+recovers, cache-1 — hosting some of those secondaries and their dirty
+lists — fails too. Those fragments can no longer be repaired: Gemini
+bumps their configuration-id floor, lazily discarding every entry the
+recovering instance held for them, and keeps serving consistently.
+
+Run:  python examples/cascading_failures.py
+"""
+
+from repro import GEMINI_O
+from repro.harness.scenarios import YcsbScenario, build_ycsb_experiment
+from repro.metrics.report import format_table
+from repro.sim.failures import FailureSchedule
+from repro.types import FragmentMode
+
+
+def main():
+    scenario = YcsbScenario(
+        policy=GEMINI_O, update_fraction=0.05, threads=6,
+        records=10_000, zipf_theta=0.8, num_instances=5,
+        fragments_per_instance=10,
+        fail_at=8.0, outage=20.0, tail=15.0, targets=("cache-0",),
+        extra_failures=(
+            FailureSchedule(at=14.0, duration=20.0, targets=("cache-1",)),
+        ))
+    cluster, workload, experiment = build_ycsb_experiment(scenario)
+
+    observations = {}
+
+    def observe():
+        observations["discarded_keys"] = cluster.count_invalid_entries(
+            "cache-0")
+        observations["surviving_keys"] = cluster.count_valid_entries(
+            "cache-0")
+
+    cluster.sim.schedule_at(29.0, observe)  # just after cache-0 recovers
+    result = experiment.run()
+
+    config = cluster.coordinator.current
+    homes = [f for f in config.fragments
+             if cluster.coordinator.home_of(f.fragment_id) == "cache-0"]
+    discarded_fragments = [f for f in homes if f.cfg_id > 2]
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["fragments homed on cache-0", len(homes)],
+            ["fragments discarded (floor bumped)", len(discarded_fragments)],
+            ["keys discarded on cache-0", observations.get("discarded_keys")],
+            ["keys surviving on cache-0", observations.get("surviving_keys")],
+            ["stale reads", result.oracle.stale_reads],
+            ["final modes all normal",
+             all(f.mode is FragmentMode.NORMAL for f in config.fragments)],
+        ],
+        title="Cascading failure: cache-1 dies while hosting cache-0's "
+              "dirty lists"))
+    print("\nThe fragments whose dirty lists died were discarded wholesale "
+          "(one integer bump each); the rest reused their persisted "
+          "entries. Consistency held throughout.")
+    assert result.oracle.stale_reads == 0
+    assert len(discarded_fragments) > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for offline editable installs (`pip install -e .`).
+
+All metadata lives in pyproject.toml; this file exists because the
+reproduction environment has no network and no `wheel` package, so pip
+must use the legacy setup.py editable code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Gemini: a distributed crash recovery protocol for persistent caches.
+
+Reproduction of Ghandeharizadeh & Huang, Middleware '18. The public API
+re-exports the pieces a downstream user needs:
+
+* build a simulated cluster — :class:`ClusterSpec`, :class:`GeminiCluster`;
+* choose a recovery policy — ``GEMINI_I``, ``GEMINI_O``, ``GEMINI_I_W``,
+  ``GEMINI_O_W``, ``STALE_CACHE``, ``VOLATILE_CACHE``;
+* drive load — :mod:`repro.workload`;
+* run experiments — :class:`Experiment`, :class:`FailureSchedule`;
+* check consistency — :class:`ConsistencyOracle`.
+
+Quickstart::
+
+    from repro import ClusterSpec, Experiment, GeminiCluster, GEMINI_O_W
+    from repro.sim.failures import FailureSchedule
+    from repro.workload import WORKLOAD_B, ClosedLoopThread, YcsbWorkload
+
+    spec = ClusterSpec(num_instances=5, policy=GEMINI_O_W)
+    cluster = GeminiCluster(spec)
+    workload = YcsbWorkload(WORKLOAD_B, cluster.rng.stream("load"))
+    workload.populate(cluster.datastore)
+    cluster.warm_cache(workload.keyspace.active_keys())
+
+    exp = Experiment(cluster, duration=60.0, failures=[
+        FailureSchedule(at=10.0, duration=10.0, targets=["cache-0"])])
+    exp.add_load(ClosedLoopThread(cluster.sim, cluster.clients[0], workload))
+    result = exp.run()
+    assert result.oracle.stale_reads == 0
+"""
+
+from repro.errors import (
+    CacheError,
+    ConsistencyViolation,
+    CoordinatorError,
+    FragmentUnavailable,
+    HostUnreachable,
+    InstanceDown,
+    LeaseBackoff,
+    NetworkError,
+    ReproError,
+    RequestTimeout,
+    SimulationError,
+    StaleConfiguration,
+    WorkloadError,
+)
+from repro.types import CACHE_MISS, FragmentMode, Value
+from repro.recovery.policies import (
+    GEMINI_I,
+    GEMINI_I_W,
+    GEMINI_O,
+    GEMINI_O_W,
+    STALE_CACHE,
+    VOLATILE_CACHE,
+    RecoveryPolicy,
+    policy_by_name,
+)
+from repro.harness.cluster import ClusterSpec, GeminiCluster
+from repro.harness.experiment import Experiment, ExperimentResult
+from repro.sim.failures import FailureSchedule
+from repro.verify.oracle import ConsistencyOracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHE_MISS",
+    "CacheError",
+    "ClusterSpec",
+    "ConsistencyOracle",
+    "ConsistencyViolation",
+    "CoordinatorError",
+    "Experiment",
+    "ExperimentResult",
+    "FailureSchedule",
+    "FragmentMode",
+    "FragmentUnavailable",
+    "GEMINI_I",
+    "GEMINI_I_W",
+    "GEMINI_O",
+    "GEMINI_O_W",
+    "GeminiCluster",
+    "HostUnreachable",
+    "InstanceDown",
+    "LeaseBackoff",
+    "NetworkError",
+    "RecoveryPolicy",
+    "ReproError",
+    "RequestTimeout",
+    "STALE_CACHE",
+    "SimulationError",
+    "StaleConfiguration",
+    "VOLATILE_CACHE",
+    "Value",
+    "WorkloadError",
+    "policy_by_name",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Dirty lists: the write log a secondary replica keeps for a failed primary.
+
+While a fragment is in transient mode, every write appends its key to the
+fragment's dirty list (Section 3.1). The list is stored as an ordinary —
+hence evictable — cache entry in the instance hosting the secondary
+replica. Eviction is detected with a *marker*: the coordinator creates
+the list with the marker set when the fragment enters transient mode; if
+the instance later evicts it and a client's append recreates it, the
+recreated list lacks the marker and is recognized as partial, forcing the
+coordinator to discard the primary replica instead of trusting an
+incomplete log.
+
+Keys are kept in insertion order and deduplicated — deleting or
+overwriting a dirty key once repairs it for all the writes it absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+__all__ = ["DirtyList", "dirty_list_key", "DIRTY_LIST_PREFIX"]
+
+DIRTY_LIST_PREFIX = "__gemini:dirty:"
+
+#: Fixed bookkeeping cost of a dirty-list value.
+_BASE_SIZE = 32
+#: Per-key cost beyond the key bytes themselves.
+_PER_KEY_OVERHEAD = 8
+
+
+def dirty_list_key(fragment_id: int) -> str:
+    """Cache key under which fragment ``fragment_id``'s dirty list lives."""
+    return f"{DIRTY_LIST_PREFIX}{fragment_id}"
+
+
+class DirtyList:
+    """An ordered, deduplicated set of dirty keys plus the eviction marker."""
+
+    __slots__ = ("fragment_id", "marker", "_keys", "_size")
+
+    def __init__(self, fragment_id: int, marker: bool):
+        self.fragment_id = fragment_id
+        self.marker = marker
+        self._keys: Dict[str, None] = {}
+        self._size = _BASE_SIZE
+
+    @property
+    def complete(self) -> bool:
+        """A list without the marker was recreated after an eviction."""
+        return self.marker
+
+    @property
+    def size(self) -> int:
+        """Bytes charged against the instance's memory budget."""
+        return self._size
+
+    def append(self, key: str) -> None:
+        if key not in self._keys:
+            self._keys[key] = None
+            self._size += len(key) + _PER_KEY_OVERHEAD
+
+    def discard(self, key: str) -> bool:
+        if key in self._keys:
+            del self._keys[key]
+            self._size -= len(key) + _PER_KEY_OVERHEAD
+            return True
+        return False
+
+    def keys(self) -> List[str]:
+        """Snapshot of the dirty keys in insertion order."""
+        return list(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __repr__(self) -> str:
+        state = "complete" if self.marker else "PARTIAL"
+        return f"DirtyList(fragment={self.fragment_id}, {state}, n={len(self)})"

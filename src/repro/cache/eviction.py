@@ -1,0 +1,167 @@
+"""Pluggable eviction policies.
+
+The paper's instances are memcached-like and evict LRU; Gemini leans on
+eviction twice — invalid entries are "discarded lazily" by normal
+replacement, and the dirty list itself is an evictable entry (whose loss
+the marker detects). LRU is therefore the default; FIFO and CLOCK exist
+for the ablation benchmarks (does Gemini's recovery behaviour depend on
+the replacement policy? DESIGN.md §5).
+
+A policy tracks key order only; the instance owns the actual entry map
+and calls back into the policy on every touch/insert/remove.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["EvictionPolicy", "LruPolicy", "FifoPolicy", "ClockPolicy", "make_policy"]
+
+
+class EvictionPolicy:
+    """Interface: decide which key to evict next."""
+
+    name = "abstract"
+
+    def on_insert(self, key: str) -> None:
+        raise NotImplementedError
+
+    def on_access(self, key: str) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, key: str) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> Optional[str]:
+        """Return the next key to evict, or None if empty. Does not remove."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used via an ordered dict (MRU at the right end)."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, key: str) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: str) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[str]:
+        if not self._order:
+            return None
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class FifoPolicy(EvictionPolicy):
+    """First-in-first-out: accesses do not refresh position."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, key: str) -> None:
+        if key in self._order:
+            return  # overwrite keeps original insertion position
+        self._order[key] = None
+
+    def on_access(self, key: str) -> None:
+        pass
+
+    def on_remove(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[str]:
+        if not self._order:
+            return None
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance CLOCK: a circular scan clearing reference bits."""
+
+    name = "clock"
+
+    def __init__(self):
+        self._ref: Dict[str, bool] = {}
+        self._ring: OrderedDict[str, None] = OrderedDict()
+
+    def on_insert(self, key: str) -> None:
+        if key not in self._ring:
+            self._ring[key] = None
+        self._ref[key] = True
+
+    def on_access(self, key: str) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def on_remove(self, key: str) -> None:
+        self._ring.pop(key, None)
+        self._ref.pop(key, None)
+
+    def victim(self) -> Optional[str]:
+        if not self._ring:
+            return None
+        # Sweep: give referenced entries a second chance by rotating them
+        # to the back with the bit cleared.
+        for __ in range(2 * len(self._ring)):
+            key = next(iter(self._ring))
+            if self._ref.get(key):
+                self._ref[key] = False
+                self._ring.move_to_end(key)
+            else:
+                return key
+        return next(iter(self._ring))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._ref.clear()
+
+
+_POLICIES = {
+    LruPolicy.name: LruPolicy,
+    FifoPolicy.name: FifoPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (``lru``/``fifo``/``clock``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,206 @@
+"""The IQ lease framework and Redlease.
+
+IQ leases (Ghandeharizadeh, Yap & Nguyen, Middleware '14) give a cache
+read-after-write consistency under the write-around policy:
+
+* An **I (Inhibit) lease** is granted to a reader that misses; only the
+  holder may install the value it computes. I leases are incompatible
+  with everything (Table 2): a second reader backs off (this is also the
+  thundering-herd guard), and a writer's Q lease *voids* the I lease so a
+  slow reader cannot install a stale value.
+* A **Q (Quarantine) lease** is acquired by a writer before it deletes the
+  cache entry. Q voids any I lease on the key. Under write-around two
+  concurrent deletes commute, so Q is compatible with Q. If a Q lease
+  expires without release, the instance deletes the entry (the writer may
+  have updated the data store before dying).
+* A **Redlease** (Redis Redlock-style) mutually excludes recovery workers
+  on a dirty list; it lives in a separate namespace and never collides
+  with I/Q leases.
+
+Expiry is evaluated lazily against the simulated clock, except Q expiry
+which the instance acts on eagerly (it must delete the entry).
+
+Table 2 of the paper::
+
+    requested \\ existing |    I                |  Q
+    ---------------------+---------------------+----------
+    I                    | Back off            | Back off
+    Q                    | Void I & grant Q    | Grant Q
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+from repro.errors import LeaseBackoff
+
+__all__ = ["LeaseKind", "Lease", "LeaseTable", "Redlease"]
+
+#: Default lease lifetimes (simulated seconds). IQ leases are "in the
+#: order of milliseconds"; Redleases protect a whole dirty-list pass.
+DEFAULT_IQ_LIFETIME = 0.010
+DEFAULT_RED_LIFETIME = 2.0
+
+
+class LeaseKind(str, Enum):
+    I = "I"
+    Q = "Q"
+    RED = "red"
+
+
+@dataclass
+class Lease:
+    kind: LeaseKind
+    key: str
+    token: int
+    granted_at: float
+    expires_at: float
+    voided: bool = False
+
+    def alive(self, now: float) -> bool:
+        return not self.voided and now < self.expires_at
+
+
+class LeaseTable:
+    """Per-instance I and Q lease bookkeeping.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time (the instance passes ``lambda: sim.now``).
+    """
+
+    def __init__(self, clock: Callable[[], float],
+                 iq_lifetime: float = DEFAULT_IQ_LIFETIME):
+        self._clock = clock
+        self.iq_lifetime = iq_lifetime
+        self._i: Dict[str, Lease] = {}
+        self._q: Dict[str, Dict[int, Lease]] = {}
+        self._tokens = itertools.count(1)
+        # Counters for the lease micro-benchmarks and overhead analysis.
+        self.granted_i = 0
+        self.granted_q = 0
+        self.backoffs = 0
+        self.voids = 0
+
+    # -- internals --------------------------------------------------------
+    def _gc(self, key: str) -> None:
+        now = self._clock()
+        lease = self._i.get(key)
+        if lease is not None and not lease.alive(now):
+            del self._i[key]
+        held = self._q.get(key)
+        if held:
+            dead = [t for t, l in held.items() if not l.alive(now)]
+            for token in dead:
+                del held[token]
+            if not held:
+                del self._q[key]
+
+    def _has_q(self, key: str) -> bool:
+        return bool(self._q.get(key))
+
+    # -- I leases ----------------------------------------------------------
+    def acquire_i(self, key: str) -> Lease:
+        """Grant an I lease, or raise :class:`LeaseBackoff` (Table 2 row I)."""
+        self._gc(key)
+        if key in self._i or self._has_q(key):
+            self.backoffs += 1
+            raise LeaseBackoff(key)
+        now = self._clock()
+        lease = Lease(LeaseKind.I, key, next(self._tokens), now, now + self.iq_lifetime)
+        self._i[key] = lease
+        self.granted_i += 1
+        return lease
+
+    def check_i(self, key: str, token: int) -> bool:
+        """Is this I lease still valid (present, unexpired, not voided)?"""
+        self._gc(key)
+        lease = self._i.get(key)
+        return lease is not None and lease.token == token
+
+    def release_i(self, key: str, token: int) -> bool:
+        lease = self._i.get(key)
+        if lease is not None and lease.token == token:
+            del self._i[key]
+            return True
+        return False
+
+    # -- Q leases ----------------------------------------------------------
+    def acquire_q(self, key: str) -> Lease:
+        """Grant a Q lease, voiding any I lease (Table 2 row Q)."""
+        self._gc(key)
+        existing_i = self._i.pop(key, None)
+        if existing_i is not None:
+            existing_i.voided = True
+            self.voids += 1
+        now = self._clock()
+        lease = Lease(LeaseKind.Q, key, next(self._tokens), now, now + self.iq_lifetime)
+        self._q.setdefault(key, {})[lease.token] = lease
+        self.granted_q += 1
+        return lease
+
+    def release_q(self, key: str, token: int) -> bool:
+        held = self._q.get(key)
+        if held and token in held:
+            del held[token]
+            if not held:
+                del self._q[key]
+            return True
+        return False
+
+    def q_outstanding(self, key: str, token: int) -> bool:
+        """Is the Q lease still held (i.e. never released)?
+
+        Used by the instance's expiry callback: an expired-but-unreleased
+        Q lease forces deletion of the entry.
+        """
+        held = self._q.get(key)
+        return bool(held and token in held)
+
+    def clear(self) -> None:
+        """Drop all leases (instance crash: leases live in DRAM)."""
+        self._i.clear()
+        self._q.clear()
+
+
+class Redlease:
+    """Mutual exclusion on named resources (dirty lists) with expiry."""
+
+    def __init__(self, clock: Callable[[], float],
+                 lifetime: float = DEFAULT_RED_LIFETIME):
+        self._clock = clock
+        self.lifetime = lifetime
+        self._held: Dict[str, Lease] = {}
+        self._tokens = itertools.count(1)
+        self.granted = 0
+        self.backoffs = 0
+
+    def acquire(self, resource: str) -> Lease:
+        now = self._clock()
+        lease = self._held.get(resource)
+        if lease is not None and lease.alive(now):
+            self.backoffs += 1
+            raise LeaseBackoff(resource, f"Redlease held on {resource!r}")
+        lease = Lease(LeaseKind.RED, resource, next(self._tokens), now,
+                      now + self.lifetime)
+        self._held[resource] = lease
+        self.granted += 1
+        return lease
+
+    def release(self, resource: str, token: int) -> bool:
+        lease = self._held.get(resource)
+        if lease is not None and lease.token == token:
+            del self._held[resource]
+            return True
+        return False
+
+    def holder(self, resource: str) -> Optional[Lease]:
+        lease = self._held.get(resource)
+        if lease is not None and lease.alive(self._clock()):
+            return lease
+        return None
+
+    def clear(self) -> None:
+        self._held.clear()

@@ -1,0 +1,131 @@
+"""Multiple replicas per fragment (the paper's Section 7 future work).
+
+The paper closes by asking how to keep several replicas of a fragment
+*identical* under cache evictions and sketches two designs:
+
+1. **Broadcast evictions** — the master replica broadcasts its eviction
+   decisions to the slaves. Cheap (messages only on eviction) but the
+   slaves' recency state drifts, and if a slave overflows before the
+   master it must evict on its own, diverging.
+2. **Forward requests** — the master forwards the request sequence to the
+   slaves; with the same deterministic replacement policy, the replicas
+   make identical eviction decisions. Expensive (every request is
+   mirrored) but divergence-free by construction.
+
+:class:`MirroredReplicaGroup` implements both so the trade-off the paper
+leaves open can be measured (`benchmarks/bench_ext_replication.py`).
+Writes still follow write-around: a delete is applied to every replica.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Dict, List
+
+from repro.cache.instance import CacheInstance, CacheOp
+from repro.errors import NetworkError, StaleConfiguration
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.types import CACHE_MISS
+
+__all__ = ["SyncStrategy", "MirroredReplicaGroup"]
+
+
+class SyncStrategy(str, Enum):
+    """How slave replicas track the master's eviction decisions."""
+
+    BROADCAST_EVICTIONS = "broadcast"
+    FORWARD_REQUESTS = "forward"
+
+
+class MirroredReplicaGroup:
+    """One master + N slave replicas of a fragment's key range."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 master: CacheInstance, slaves: List[CacheInstance],
+                 strategy: SyncStrategy = SyncStrategy.BROADCAST_EVICTIONS):
+        self.sim = sim
+        self.network = network
+        self.master = master
+        self.slaves = list(slaves)
+        self.strategy = SyncStrategy(strategy)
+        self.mirror_messages = 0
+        self.client_messages = 0
+        if self.strategy is SyncStrategy.BROADCAST_EVICTIONS:
+            master.subscribe_evictions(self._broadcast_eviction)
+
+    # ------------------------------------------------------------------
+    # Client-facing operations (generators; drive from a process)
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """Read from the master; mirror the touch under FORWARD."""
+        self.client_messages += 1
+        value = yield self.network.call(
+            self.master.address, CacheOp(op="get", key=key))
+        if self.strategy is SyncStrategy.FORWARD_REQUESTS:
+            yield from self._mirror(CacheOp(op="get", key=key))
+        return value
+
+    def set(self, key: str, value: Any):
+        """Install in the master; mirror the insert on every slave."""
+        self.client_messages += 1
+        yield self.network.call(
+            self.master.address, CacheOp(op="set", key=key, value=value))
+        # Both strategies replicate inserts — content must be identical;
+        # they differ in who decides evictions.
+        yield from self._mirror(CacheOp(op="set", key=key, value=value))
+        return True
+
+    def delete(self, key: str):
+        """Write-around invalidation touches every replica."""
+        self.client_messages += 1
+        yield self.network.call(
+            self.master.address, CacheOp(op="delete", key=key))
+        yield from self._mirror(CacheOp(op="delete", key=key))
+        return True
+
+    # ------------------------------------------------------------------
+    def _mirror(self, op: CacheOp):
+        for slave in self.slaves:
+            self.mirror_messages += 1
+            try:
+                yield self.network.call(slave.address, op)
+            except (NetworkError, StaleConfiguration):
+                continue
+
+    def _broadcast_eviction(self, key: str) -> None:
+        """Master evicted ``key``: tell the slaves to drop it too."""
+        self.sim.process(self._mirror(CacheOp(op="delete", key=key)),
+                         name="replica-eviction-broadcast")
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _data_keys(self, instance: CacheInstance) -> set:
+        return {key for key in instance._entries if not
+                key.startswith("__gemini")}
+
+    def divergence(self) -> float:
+        """Fraction of replica content differing from the master.
+
+        0.0 = all slaves hold exactly the master's key set; 1.0 = nothing
+        in common. This is the quantity the paper's Section 7 design
+        question is about.
+        """
+        master_keys = self._data_keys(self.master)
+        if not self.slaves:
+            return 0.0
+        total = 0.0
+        for slave in self.slaves:
+            slave_keys = self._data_keys(slave)
+            union = master_keys | slave_keys
+            if not union:
+                continue
+            total += len(master_keys ^ slave_keys) / len(union)
+        return total / len(self.slaves)
+
+    def replica_sizes(self) -> Dict[str, int]:
+        sizes = {self.master.address: len(self._data_keys(self.master))}
+        for slave in self.slaves:
+            sizes[slave.address] = len(self._data_keys(slave))
+        return sizes

@@ -1,0 +1,430 @@
+"""The Gemini client (Algorithms 1 and 2 plus the failure handling of
+Sections 2.2 and 3.3).
+
+Every public operation is a *session*: an atomic unit that reads or
+writes one cache entry and issues at most one data-store transaction.
+Sessions are generators driven by the simulation kernel; they retry on
+lease back-off, refresh their configuration on
+:class:`~repro.errors.StaleConfiguration` bounces, and fall back to the
+data store (reads) or suspend (writes) while a fragment has no reachable
+serving replica.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.cache.instance import CacheOp
+from repro.client.routing import ConfigCache
+from repro.client.working_set import WstTracker
+from repro.coordinator.coordinator import CoordinatorOp
+from repro.errors import (
+    FragmentUnavailable,
+    InstanceDown,
+    LeaseBackoff,
+    NetworkError,
+    ReproError,
+    StaleConfiguration,
+)
+from repro.recovery.policies import RecoveryPolicy
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.types import CACHE_MISS, FragmentMode, Value
+
+__all__ = ["GeminiClient"]
+
+#: Errors meaning "the node I talked to is not answering".
+_UNREACHABLE = (NetworkError, InstanceDown)
+
+
+class GeminiClient:
+    """One application-side Gemini client library instance."""
+
+    MAX_ATTEMPTS = 200
+
+    def __init__(self, sim: Simulator, network: Network,
+                 policy: RecoveryPolicy,
+                 coordinator_address: str = "coordinator",
+                 datastore_address: str = "datastore",
+                 name: str = "client",
+                 oracle=None, recorder=None,
+                 rng: Optional[random.Random] = None,
+                 backoff_base: float = 0.001,
+                 backoff_cap: float = 0.016,
+                 suspension_delay: float = 0.02):
+        self.sim = sim
+        self.network = network
+        self.policy = policy
+        self.coordinator_address = coordinator_address
+        self.datastore_address = datastore_address
+        self.name = name
+        self.oracle = oracle
+        self.recorder = recorder
+        self.rng = rng if rng is not None else random.Random(0)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.suspension_delay = suspension_delay
+        self.cache = ConfigCache()
+        self.wst = WstTracker()
+        #: Local dirty-list copies per fragment in recovery mode.
+        self._dirty: Dict[int, Set[str]] = {}
+        self.reads_completed = 0
+        self.writes_completed = 0
+
+    # ------------------------------------------------------------------
+    # Configuration plumbing
+    # ------------------------------------------------------------------
+    def on_config(self, config) -> None:
+        """Coordinator push (subscribe this method on the coordinator)."""
+        if not self.cache.adopt(config):
+            return
+        # Drop dirty copies of fragments that left recovery mode.
+        for fragment in config.fragments:
+            if (fragment.fragment_id in self._dirty
+                    and fragment.mode is not FragmentMode.RECOVERY):
+                del self._dirty[fragment.fragment_id]
+
+    def bootstrap(self):
+        """Fetch the initial configuration (a process to yield from)."""
+        config = yield self.network.call(
+            self.coordinator_address, CoordinatorOp(op="get_config"))
+        self.cache.adopt(config)
+        return config
+
+    def _refresh_config(self):
+        if self.recorder is not None:
+            self.recorder.record_config_refresh()
+        try:
+            config = yield self.network.call(
+                self.coordinator_address, CoordinatorOp(op="get_config"))
+        except _UNREACHABLE:
+            return
+        self.cache.adopt(config)
+
+    # ------------------------------------------------------------------
+    # RPC helpers
+    # ------------------------------------------------------------------
+    def _op(self, op: str, **fields) -> CacheOp:
+        fields.setdefault("client_cfg_id", self.cache.config_id)
+        return CacheOp(op=op, **fields)
+
+    @staticmethod
+    def _suspect(fragment) -> Optional[str]:
+        """Which replica to report after an unreachable error."""
+        try:
+            return fragment.serving_replica()
+        except FragmentUnavailable:
+            return None
+
+    def _backoff_delay(self, attempt: int) -> float:
+        cap = min(self.backoff_cap, self.backoff_base * (2 ** min(attempt, 6)))
+        return cap * (0.5 + 0.5 * self.rng.random())
+
+    def _store_read(self, key: str):
+        from repro.datastore.store import DataStoreOp
+        value = yield self.network.call(
+            self.datastore_address, DataStoreOp(op="read", key=key))
+        return value
+
+    def _store_write(self, key: str, size: Optional[int]):
+        from repro.datastore.store import DataStoreOp
+        value = yield self.network.call(
+            self.datastore_address, DataStoreOp(op="write", key=key, size=size))
+        return value
+
+    def _report_failure(self, address: str):
+        try:
+            yield self.network.call(
+                self.coordinator_address,
+                CoordinatorOp(op="report_failure", address=address))
+        except _UNREACHABLE:
+            pass
+
+    def _notify_dirty_lost(self, fragment_id: int) -> None:
+        self.sim.process(
+            self._notify_dirty_lost_proc(fragment_id),
+            name=f"{self.name}:dirty-lost")
+
+    def _notify_dirty_lost_proc(self, fragment_id: int):
+        try:
+            yield self.network.call(
+                self.coordinator_address,
+                CoordinatorOp(op="dirty_lost", fragment_id=fragment_id))
+        except _UNREACHABLE:
+            pass
+
+    # ------------------------------------------------------------------
+    # Public sessions
+    # ------------------------------------------------------------------
+    def read(self, key: str):
+        """Read session. Returns the :class:`Value` observed."""
+        start = self.sim.now
+        value: Optional[Value] = None
+        hit = False
+        instance: Optional[str] = None
+        store_direct = False
+        unreachable_strikes = 0
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            fragment = self.cache.route(key)
+            try:
+                value, hit, instance = yield from self._read_once(fragment, key)
+                break
+            except LeaseBackoff:
+                if self.recorder is not None:
+                    self.recorder.record_backoff()
+                yield self._backoff_delay(attempt)
+            except StaleConfiguration:
+                yield from self._refresh_config()
+            except FragmentUnavailable:
+                yield self.suspension_delay
+                yield from self._refresh_config()
+            except _UNREACHABLE:
+                unreachable_strikes += 1
+                suspect = self._suspect(fragment)
+                if suspect is not None:
+                    yield from self._report_failure(suspect)
+                yield from self._refresh_config()
+                if unreachable_strikes >= 2:
+                    # Section 2.2: while the fragment has no serving
+                    # replica, reads are processed using the data store.
+                    value = yield from self._store_read(key)
+                    store_direct = True
+                    break
+                yield self.suspension_delay
+        if value is None:
+            raise ReproError(f"read of {key!r} exhausted retries")
+        end = self.sim.now
+        self.reads_completed += 1
+        if self.recorder is not None:
+            self.recorder.record_read(start, end, hit, instance,
+                                      store_direct=store_direct)
+        if self.oracle is not None:
+            self.oracle.record_read(key, value.version, start, end)
+        return value
+
+    def write(self, key: str, size: Optional[int] = None):
+        """Write-around write session. Returns the committed Value."""
+        start = self.sim.now
+        store_done = False
+        value: Optional[Value] = None
+        suspended = 0.0
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            fragment = self.cache.route(key)
+            try:
+                value, store_done = yield from self._write_once(
+                    fragment, key, size, store_done, value)
+                break
+            except LeaseBackoff:
+                if self.recorder is not None:
+                    self.recorder.record_backoff()
+                yield self._backoff_delay(attempt)
+            except StaleConfiguration:
+                yield from self._refresh_config()
+            except FragmentUnavailable:
+                # Section 2.2: writes are suspended until a secondary is
+                # published.
+                suspended += self.suspension_delay
+                yield self.suspension_delay
+                yield from self._refresh_config()
+            except _UNREACHABLE:
+                suspended += self.suspension_delay
+                suspect = self._suspect(fragment)
+                if suspect is not None:
+                    yield from self._report_failure(suspect)
+                yield self.suspension_delay
+                yield from self._refresh_config()
+        if value is None:
+            raise ReproError(f"write of {key!r} exhausted retries")
+        end = self.sim.now
+        self.writes_completed += 1
+        if self.recorder is not None:
+            self.recorder.record_write(start, end, suspended_for=suspended)
+        if self.oracle is not None:
+            # The write is confirmed *now*: read-after-write consistency
+            # is owed to every read that starts after this point.
+            self.oracle.record_commit(key, value.version, end)
+        return value
+
+    # ------------------------------------------------------------------
+    # Read paths
+    # ------------------------------------------------------------------
+    def _read_once(self, fragment, key: str):
+        if fragment.mode is FragmentMode.RECOVERY:
+            return (yield from self._read_recovery(fragment, key))
+        target = fragment.serving_replica()
+        return (yield from self._read_via(target, fragment, key))
+
+    def _read_via(self, target: str, fragment, key: str):
+        """Normal/transient read: iqget, fill on miss (IQ protocol)."""
+        outcome = yield self.network.call(
+            target, self._op("iqget", key=key,
+                             fragment_cfg_id=fragment.cfg_id))
+        if outcome[0] == "hit":
+            return outcome[1], True, target
+        token = outcome[1]
+        value = yield from self._store_read(key)
+        yield from self._fill(target, fragment, key, value, token)
+        return value, False, target
+
+    def _fill(self, target: str, fragment, key: str, value: Value,
+              token: int):
+        """Best-effort iqset: the value is already in hand, so a failed or
+        bounced fill only costs a future cache miss."""
+        try:
+            yield self.network.call(
+                target, self._op("iqset", key=key, value=value, token=token,
+                                 fragment_cfg_id=fragment.cfg_id))
+        except (StaleConfiguration, *_UNREACHABLE):
+            pass
+
+    def _read_recovery(self, fragment, key: str):
+        """Algorithm 1: reads against a fragment in recovery mode."""
+        dirty = yield from self._ensure_dirty(fragment)
+        primary = fragment.primary
+        if key in dirty:
+            try:
+                token = yield self.network.call(
+                    primary, self._op("iset", key=key,
+                                      fragment_cfg_id=fragment.cfg_id))
+            except LeaseBackoff:
+                # Someone else is repairing this key right now; it is no
+                # longer our responsibility (their iset already deleted
+                # the stale copy), so stop treating it as dirty.
+                dirty.discard(key)
+                raise
+            dirty.discard(key)
+        else:
+            outcome = yield self.network.call(
+                primary, self._op("iqget", key=key,
+                                  fragment_cfg_id=fragment.cfg_id))
+            if outcome[0] == "hit":
+                return outcome[1], True, primary
+            token = outcome[1]
+        # Cache miss in the primary while holding an I lease.
+        if fragment.wst_active and fragment.secondary is not None:
+            try:
+                found = yield self.network.call(
+                    fragment.secondary,
+                    self._op("get", key=key, fragment_cfg_id=fragment.cfg_id))
+            except (StaleConfiguration, *_UNREACHABLE):
+                found = CACHE_MISS
+            self.wst.observe(primary, found is not CACHE_MISS)
+            if found is not CACHE_MISS:
+                yield from self._fill(primary, fragment, key, found, token)
+                return found, True, primary
+        value = yield from self._store_read(key)
+        yield from self._fill(primary, fragment, key, value, token)
+        return value, False, primary
+
+    def _ensure_dirty(self, fragment) -> Any:
+        """Fetch (once) the dirty list for a recovery-mode fragment.
+
+        Falls back to the coordinator's copy when the secondary lost it
+        (eviction or crash, Section 3.3)."""
+        cached = self._dirty.get(fragment.fragment_id)
+        if cached is not None:
+            return cached
+        dirty_value = CACHE_MISS
+        if fragment.secondary is not None:
+            try:
+                dirty_value = yield self.network.call(
+                    fragment.secondary,
+                    self._op("get_dirty", fragment_id=fragment.fragment_id))
+            except (StaleConfiguration, *_UNREACHABLE):
+                dirty_value = CACHE_MISS
+        if dirty_value is not CACHE_MISS and dirty_value.complete:
+            keys = set(dirty_value.keys())
+        else:
+            try:
+                copy = yield self.network.call(
+                    self.coordinator_address,
+                    CoordinatorOp(op="get_dirty_copy",
+                                  fragment_id=fragment.fragment_id))
+            except _UNREACHABLE:
+                copy = []
+            keys = set(copy)
+        self._dirty[fragment.fragment_id] = keys
+        return keys
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def _write_once(self, fragment, key: str, size: Optional[int],
+                    store_done: bool, value: Optional[Value]
+                    ) -> Tuple[Value, bool]:
+        if fragment.mode is FragmentMode.NORMAL:
+            return (yield from self._write_normal(fragment, key, size,
+                                                  store_done, value))
+        if fragment.mode is FragmentMode.TRANSIENT:
+            return (yield from self._write_transient(fragment, key, size,
+                                                     store_done, value))
+        return (yield from self._write_recovery(fragment, key, size,
+                                                store_done, value))
+
+    def _write_normal(self, fragment, key, size, store_done, value):
+        target = fragment.primary
+        token = yield self.network.call(
+            target, self._op("qareg", key=key,
+                             fragment_cfg_id=fragment.cfg_id))
+        if not store_done:
+            value = yield from self._store_write(key, size)
+            store_done = True
+        yield self.network.call(
+            target, self._op("dar", key=key, token=token,
+                             fragment_cfg_id=fragment.cfg_id))
+        return value, store_done
+
+    def _write_transient(self, fragment, key, size, store_done, value):
+        """Transient mode (Section 3.1): write to the secondary and log
+        the key in the fragment's dirty list before touching the store."""
+        target = fragment.secondary
+        if target is None:
+            raise FragmentUnavailable(fragment.fragment_id)
+        token = yield self.network.call(
+            target, self._op("qareg", key=key,
+                             fragment_cfg_id=fragment.cfg_id))
+        if self.policy.maintain_dirty:
+            complete = yield self.network.call(
+                target, self._op("append_dirty",
+                                 fragment_id=fragment.fragment_id, key=key))
+            if not complete:
+                # The marker is gone: the list was evicted and recreated.
+                self._notify_dirty_lost(fragment.fragment_id)
+        if not store_done:
+            value = yield from self._store_write(key, size)
+            store_done = True
+        yield self.network.call(
+            target, self._op("dar", key=key, token=token,
+                             fragment_cfg_id=fragment.cfg_id))
+        return value, store_done
+
+    def _write_recovery(self, fragment, key, size, store_done, value):
+        """Algorithm 2 + Section 3.2.1: delete in BOTH replicas."""
+        primary = fragment.primary
+        token = yield self.network.call(
+            primary, self._op("qareg", key=key,
+                              fragment_cfg_id=fragment.cfg_id))
+        if fragment.secondary is not None:
+            try:
+                yield self.network.call(
+                    fragment.secondary,
+                    self._op("delete", key=key,
+                             fragment_cfg_id=fragment.cfg_id))
+            except _UNREACHABLE:
+                pass  # a dead secondary no longer serves reads
+            # A StaleConfiguration bounce must propagate: the secondary is
+            # still a repair source, and leaving a stale copy there lets a
+            # recovery worker resurrect it into the primary. The session
+            # retries the whole invalidation under the fresh configuration.
+        if not store_done:
+            value = yield from self._store_write(key, size)
+            store_done = True
+        yield self.network.call(
+            primary, self._op("dar", key=key, token=token,
+                              fragment_cfg_id=fragment.cfg_id))
+        # This write repaired the key; drop it from our dirty view.
+        local = self._dirty.get(fragment.fragment_id)
+        if local is not None:
+            local.discard(key)
+        return value, store_done

@@ -1,0 +1,53 @@
+"""Client-side configuration cache and routing.
+
+A Gemini client holds the latest configuration it knows of and maps every
+key to a fragment cell with the deterministic hash (Figure 3). The cache
+is updated from three sources: coordinator pushes (subscription), refresh
+RPCs after a :class:`~repro.errors.StaleConfiguration` bounce, and the
+bootstrap fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.errors import FragmentUnavailable
+
+__all__ = ["ConfigCache"]
+
+
+class ConfigCache:
+    """The client's view of the cluster."""
+
+    def __init__(self, config: Optional[Configuration] = None):
+        self._config = config
+        self.updates = 0
+
+    @property
+    def config(self) -> Configuration:
+        if self._config is None:
+            raise FragmentUnavailable(-1, "client has no configuration yet")
+        return self._config
+
+    @property
+    def config_id(self) -> int:
+        return self.config.config_id
+
+    @property
+    def ready(self) -> bool:
+        return self._config is not None
+
+    def adopt(self, config: Configuration) -> bool:
+        """Install a configuration if it is newer; returns True if adopted."""
+        if config is None:
+            return False
+        if self._config is not None and config.config_id <= self._config.config_id:
+            return False
+        self._config = config
+        self.updates += 1
+        return True
+
+    def route(self, key: str) -> FragmentInfo:
+        """Map a key to its fragment cell."""
+        return self.config.fragment_for_key(key)

@@ -1,0 +1,39 @@
+"""Client-side working-set-transfer accounting.
+
+During recovery mode with +W policies, every primary miss triggers a
+secondary lookup (Section 3.2.2). The tracker counts those lookups per
+recovering instance; the coordinator's termination monitor reads them to
+evaluate the m threshold (secondary miss ratio), standing in for the
+client->coordinator feedback channel of a real deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["WstTracker"]
+
+
+class WstTracker:
+    """hits/misses of secondary lookups, keyed by recovering primary."""
+
+    def __init__(self):
+        self._counts: Dict[str, Dict[str, int]] = {}
+
+    def observe(self, primary: str, hit: bool) -> None:
+        counts = self._counts.get(primary)
+        if counts is None:
+            counts = self._counts[primary] = {"hits": 0, "misses": 0}
+        counts["hits" if hit else "misses"] += 1
+
+    def counts(self, primary: str) -> Dict[str, int]:
+        return dict(self._counts.get(primary, {"hits": 0, "misses": 0}))
+
+    def merged(self, others: "list[WstTracker]", primary: str) -> Dict[str, int]:
+        """Aggregate this tracker with others for one primary."""
+        total = {"hits": 0, "misses": 0}
+        for tracker in [self, *others]:
+            counts = tracker.counts(primary)
+            total["hits"] += counts["hits"]
+            total["misses"] += counts["misses"]
+        return total

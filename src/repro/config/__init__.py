@@ -1,0 +1,12 @@
+"""Configuration management data model.
+
+A *configuration* (Section 2.1) is the assignment of fragments to
+instances plus per-fragment metadata: mode (normal / transient /
+recovery), the replica addresses, and the id of the configuration that
+last changed the fragment — the Rejig validity floor for its entries.
+"""
+
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.config.hashing import fragment_for_key, stable_hash
+
+__all__ = ["Configuration", "FragmentInfo", "fragment_for_key", "stable_hash"]

@@ -1,0 +1,25 @@
+"""Stable key-to-fragment mapping.
+
+The paper maps ``hash(key) % number_of_fragments`` (Section 4). Python's
+built-in ``hash`` for strings is salted per process, so we use CRC32 —
+stable across processes and runs, cheap, and uniform enough for
+partitioning.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash", "fragment_for_key"]
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 32-bit hash of a key."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def fragment_for_key(key: str, num_fragments: int) -> int:
+    """The paper's router: ``hash(key) % F``."""
+    if num_fragments <= 0:
+        raise ValueError("num_fragments must be positive")
+    return stable_hash(key) % num_fragments

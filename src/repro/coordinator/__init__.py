@@ -1,0 +1,18 @@
+"""Coordinator: configuration management and fragment lifecycle.
+
+* :mod:`repro.coordinator.coordinator` — the master coordinator: grants
+  fragment assignments, drives the normal/transient/recovery mode machine
+  (Figure 4), publishes configurations with increasing ids, and decides
+  when a primary replica must be discarded (Section 3.2.4).
+* :mod:`repro.coordinator.membership` — heartbeat failure detector for
+  real (non-emulated) crashes.
+* :mod:`repro.coordinator.shadow` — master + shadow coordinators with
+  promotion on master failure (the paper uses ZooKeeper; its prototype,
+  like ours, simulates the ensemble).
+"""
+
+from repro.coordinator.coordinator import Coordinator, CoordinatorOp
+from repro.coordinator.membership import HeartbeatMonitor
+from repro.coordinator.shadow import CoordinatorEnsemble
+
+__all__ = ["Coordinator", "CoordinatorOp", "HeartbeatMonitor", "CoordinatorEnsemble"]

@@ -1,0 +1,603 @@
+"""The Gemini coordinator.
+
+Owns the authoritative fragment table and drives the fragment lifecycle
+of Figure 4:
+
+* **instance fails** — every fragment whose primary lived there gets a
+  secondary replica on a surviving instance (round-robin, Section 4), a
+  freshly-created dirty list (with the eviction marker), and transient
+  mode. Fragments whose *secondary* lived there lose their dirty list:
+  the primary replica is declared unrecoverable and, if the primary is
+  still down, a replacement serving replica is assigned.
+* **instance recovers** — each of its fragments is checked: if the dirty
+  list is present and complete, the fragment enters recovery mode with
+  its validity floor (``cfg_id``) *restored* to the pre-failure value so
+  its surviving entries are valid again; otherwise the floor is bumped to
+  the new configuration id, lazily discarding everything (Example 3.1).
+* **dirty list processed / working-set transfer finished** — back to
+  normal mode.
+
+Every transition produces a new immutable :class:`Configuration` with an
+incremented id, pushed to the alive instances *first* (so stale-client
+requests bounce with :class:`StaleConfiguration`) and then to subscribed
+clients and workers. Transitions are serialized by a mutex because they
+interleave with the RPCs they issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.cache.instance import CacheOp
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.errors import CoordinatorError, NetworkError, StaleConfiguration
+from repro.recovery.policies import RecoveryPolicy
+from repro.sim.core import Simulator
+from repro.sim.network import Network, RemoteNode
+from repro.sim.sync import Mutex
+from repro.types import CACHE_MISS, FragmentMode
+
+__all__ = ["Coordinator", "CoordinatorOp"]
+
+
+@dataclass
+class CoordinatorOp:
+    """One RPC to the coordinator."""
+
+    op: str
+    address: Optional[str] = None
+    fragment_id: Optional[int] = None
+    payload: Any = None
+
+
+class Coordinator(RemoteNode):
+    """Master coordinator (one per cluster; see shadow.py for failover)."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 instances: List[str], num_fragments: int,
+                 policy: RecoveryPolicy,
+                 address: str = "coordinator",
+                 initial_config_id: int = 1,
+                 monitor_interval: float = 1.0,
+                 wst_max_duration: float = 300.0):
+        super().__init__(sim, address, servers=16)
+        self.network = network
+        self.policy = policy
+        self.monitor_interval = monitor_interval
+        self.wst_max_duration = wst_max_duration
+        self._instances = list(instances)
+        self._alive: Set[str] = set(instances)
+        self.current = Configuration.initial(instances, num_fragments,
+                                             initial_config_id)
+        #: Last configuration whose instance fan-out completed. Clients
+        #: may only ever see this one: handing out `current` mid-publish
+        #: would let a client fetch a recovery-mode dirty list before the
+        #: secondary learned the new id, racing one final transient-mode
+        #: append past the client's copy.
+        self.published = self.current
+        self._fragments: Dict[int, FragmentInfo] = {
+            f.fragment_id: f for f in self.current.fragments}
+        self._config_id = initial_config_id
+        #: Original owner of each fragment; recovery hands fragments back.
+        self._home: Dict[int, str] = {
+            f.fragment_id: f.primary for f in self.current.fragments}
+        self._pre_failure_cfg: Dict[int, int] = {}
+        self._recoverable: Dict[int, bool] = {}
+        self._dirty_done: Set[int] = set()
+        #: Coordinator-held dirty list copies, the fallback used when a
+        #: secondary dies during recovery (Section 3.3).
+        self._dirty_copy: Dict[int, List[str]] = {}
+        self._lock = Mutex(sim)
+        self._subscribers: List[Callable[[Configuration], None]] = []
+        #: Pre-failure windowed hit ratio per instance (the h threshold).
+        self._pre_failure_hit: Dict[str, float] = {}
+        self._last_stats: Dict[str, Dict[str, int]] = {}
+        self._window_hit: Dict[str, float] = {}
+        self._wst_feedback: Optional[Callable[[str], Dict[str, int]]] = None
+        self._last_wst_counts: Dict[str, Dict[str, int]] = {}
+        # Counters
+        self.publishes = 0
+        self.fragments_discarded = 0
+        self.transitions: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[Configuration], None]) -> None:
+        """Receive every published configuration (clients & workers)."""
+        self._subscribers.append(callback)
+
+    def register_wst_feedback(self, fn: Callable[[str], Dict[str, int]]) -> None:
+        """Aggregated client-side WST lookup counters per recovering
+        instance (stands in for client->coordinator feedback RPCs)."""
+        self._wst_feedback = fn
+
+    def alive_instances(self) -> List[str]:
+        return [a for a in self._instances if a in self._alive]
+
+    def is_alive(self, address: str) -> bool:
+        return address in self._alive
+
+    def pre_failure_hit_ratio(self, address: str) -> Optional[float]:
+        return self._pre_failure_hit.get(address)
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+    def service_time(self, request: CoordinatorOp) -> float:
+        return 20e-6
+
+    def handle_request(self, request: CoordinatorOp) -> Any:
+        handler = getattr(self, f"op_{request.op}", None)
+        if handler is None:
+            raise CoordinatorError(f"unknown coordinator op {request.op!r}")
+        return handler(request)
+
+    def op_get_config(self, request: CoordinatorOp) -> Configuration:
+        return self.published
+
+    def op_report_failure(self, request: CoordinatorOp) -> bool:
+        self.notify_failure(request.address)
+        return True
+
+    def op_report_recovery(self, request: CoordinatorOp) -> bool:
+        self.notify_recovery(request.address)
+        return True
+
+    def op_dirty_done(self, request: CoordinatorOp) -> bool:
+        self.notify_dirty_done(request.fragment_id)
+        return True
+
+    def op_dirty_lost(self, request: CoordinatorOp) -> bool:
+        self.notify_dirty_lost(request.fragment_id)
+        return True
+
+    def op_get_dirty_copy(self, request: CoordinatorOp) -> Any:
+        return list(self._dirty_copy.get(request.fragment_id, []))
+
+    def op_stats(self, request: CoordinatorOp) -> Dict[str, Any]:
+        return {
+            "config_id": self._config_id,
+            "publishes": self.publishes,
+            "fragments_discarded": self.fragments_discarded,
+            "alive": len(self._alive),
+        }
+
+    # ------------------------------------------------------------------
+    # Entry points (also callable directly by the failure injector)
+    # ------------------------------------------------------------------
+    def notify_failure(self, address: str) -> None:
+        if address in self._alive:
+            self.sim.process(self._handle_failure(address),
+                             name=f"coord-fail:{address}")
+
+    def notify_recovery(self, address: str) -> None:
+        if address not in self._alive:
+            self.sim.process(self._handle_recovery(address),
+                             name=f"coord-recover:{address}")
+
+    def notify_dirty_done(self, fragment_id: int) -> None:
+        self.sim.process(self._handle_dirty_done(fragment_id),
+                         name=f"coord-dirty-done:{fragment_id}")
+
+    def notify_dirty_lost(self, fragment_id: int) -> None:
+        """A client/worker found the dirty list missing or partial."""
+        self.sim.process(self._handle_dirty_lost(fragment_id),
+                         name=f"coord-dirty-lost:{fragment_id}")
+
+    def notify_wst_done(self, address: str) -> None:
+        self.sim.process(self._handle_wst_done(address),
+                         name=f"coord-wst-done:{address}")
+
+    def on_injector_event(self, event: str, address: str) -> None:
+        """Adapter for :class:`repro.sim.failures.FailureInjector`."""
+        if event == "fail":
+            self.notify_failure(address)
+        elif event == "recover":
+            self.notify_recovery(address)
+
+    # ------------------------------------------------------------------
+    # Transitions (processes; serialized by the mutex)
+    # ------------------------------------------------------------------
+    def _handle_failure(self, address: str):
+        yield self._lock.acquire()
+        try:
+            if address not in self._alive:
+                return
+            self._alive.discard(address)
+            self._pre_failure_hit[address] = self._window_hit.get(address, 0.0)
+            new_id = self._config_id + 1
+            updates: Dict[int, FragmentInfo] = {}
+            dirty_creates: List[tuple] = []
+            assign = self._round_robin_assigner(exclude={address})
+            for fragment in list(self._fragments.values()):
+                fid = fragment.fragment_id
+                if fragment.primary == address and fragment.mode is FragmentMode.NORMAL:
+                    secondary = next(assign)
+                    self._pre_failure_cfg[fid] = fragment.cfg_id
+                    self._recoverable[fid] = self.policy.maintain_dirty
+                    self._dirty_done.discard(fid)
+                    updates[fid] = fragment.replace(
+                        secondary=secondary, mode=FragmentMode.TRANSIENT,
+                        cfg_id=new_id, wst_active=False)
+                    if self.policy.maintain_dirty:
+                        dirty_creates.append((secondary, fid))
+                elif fragment.primary == address and fragment.mode is FragmentMode.RECOVERY:
+                    # Arrow 5 in Figure 4: failed again before recovery
+                    # completed. Keep the restored floor; the dirty list in
+                    # the secondary keeps covering the outage.
+                    self._dirty_done.discard(fid)
+                    updates[fid] = fragment.replace(
+                        mode=FragmentMode.TRANSIENT, wst_active=False)
+                    if self.policy.maintain_dirty and fragment.secondary:
+                        dirty_creates.append((fragment.secondary, fid))
+                elif fragment.secondary == address and fragment.mode is FragmentMode.TRANSIENT:
+                    # The dirty list is gone: discard the primary replica
+                    # and move the fragment to a fresh serving instance.
+                    self._recoverable[fid] = False
+                    replacement = next(assign)
+                    self.fragments_discarded += 1
+                    updates[fid] = fragment.replace(
+                        secondary=replacement, cfg_id=new_id)
+                    if self.policy.maintain_dirty:
+                        dirty_creates.append((replacement, fid))
+                elif fragment.secondary == address and fragment.mode is FragmentMode.RECOVERY:
+                    # Section 3.3: terminate the transfer; remaining dirty
+                    # keys are repaired from the coordinator's copy.
+                    updates[fid] = fragment.replace(
+                        secondary=None, wst_active=False)
+                elif fragment.primary == address:
+                    # transient primary failed "again": nothing changes,
+                    # the secondary keeps serving.
+                    continue
+            self.transitions.append((self.sim.now, "failure", address,
+                                     len(updates)))
+            if updates:
+                yield from self._commit(new_id, updates)
+                yield from self._create_dirty_lists(dirty_creates)
+            else:
+                self._config_id = new_id
+                self.current = self.current.evolve(new_id, {})
+                yield from self._push_configuration()
+        finally:
+            self._lock.release()
+
+    def _handle_recovery(self, address: str):
+        yield self._lock.acquire()
+        try:
+            if address in self._alive:
+                return
+            self._alive.add(address)
+            if self.policy.kind == "volatile":
+                yield from self._recover_volatile(address)
+            elif self.policy.kind == "stale":
+                yield from self._recover_stale(address)
+            else:
+                yield from self._recover_gemini(address)
+        finally:
+            self._lock.release()
+
+    def _recovering_fragments(self, address: str) -> List[FragmentInfo]:
+        """Fragments homed at `address` currently served elsewhere."""
+        out = []
+        for fragment in self._fragments.values():
+            if self._home[fragment.fragment_id] == address:
+                out.append(fragment)
+        return out
+
+    def _recover_volatile(self, address: str):
+        """Baseline: the instance lost its content; wipe and reuse empty."""
+        try:
+            yield self.network.call(address, CacheOp(op="wipe"))
+        except (NetworkError, StaleConfiguration):
+            pass
+        new_id = self._config_id + 1
+        updates = {}
+        for fragment in self._recovering_fragments(address):
+            if fragment.mode is FragmentMode.NORMAL and fragment.primary == address:
+                continue
+            updates[fragment.fragment_id] = fragment.replace(
+                primary=address, secondary=None, mode=FragmentMode.NORMAL,
+                cfg_id=new_id, wst_active=False)
+        self.transitions.append((self.sim.now, "recover-volatile", address,
+                                 len(updates)))
+        yield from self._commit(new_id, updates)
+
+    def _recover_stale(self, address: str):
+        """Baseline: reuse content as-is — floors restored, no repair."""
+        new_id = self._config_id + 1
+        updates = {}
+        for fragment in self._recovering_fragments(address):
+            fid = fragment.fragment_id
+            if fragment.mode is FragmentMode.NORMAL and fragment.primary == address:
+                continue
+            floor = self._pre_failure_cfg.get(fid, fragment.cfg_id)
+            updates[fid] = fragment.replace(
+                primary=address, secondary=None, mode=FragmentMode.NORMAL,
+                cfg_id=floor, wst_active=False)
+        self.transitions.append((self.sim.now, "recover-stale", address,
+                                 len(updates)))
+        yield from self._commit(new_id, updates)
+
+    def _recover_gemini(self, address: str):
+        """Full protocol: recovery mode for recoverable fragments,
+        discard (floor bump) for the rest (Example 3.1)."""
+        new_id = self._config_id + 1
+        updates: Dict[int, FragmentInfo] = {}
+        recovery_fragments: List[FragmentInfo] = []
+        for fragment in self._recovering_fragments(address):
+            fid = fragment.fragment_id
+            if fragment.mode is FragmentMode.NORMAL and fragment.primary == address:
+                continue
+            recoverable = self._recoverable.get(fid, False)
+            dirty = CACHE_MISS
+            if recoverable and fragment.secondary is not None:
+                try:
+                    dirty = yield self.network.call(
+                        fragment.secondary,
+                        CacheOp(op="get_dirty", fragment_id=fid,
+                                client_cfg_id=self._config_id))
+                except (NetworkError, StaleConfiguration):
+                    dirty = CACHE_MISS
+            if dirty is CACHE_MISS or not dirty.complete:
+                recoverable = False
+            if not recoverable:
+                self.fragments_discarded += 1
+                if fragment.secondary is not None:
+                    # Best-effort removal of any leftover (partial) list so
+                    # it cannot be mistaken for live state later.
+                    try:
+                        yield self.network.call(
+                            fragment.secondary,
+                            CacheOp(op="delete_dirty", fragment_id=fid,
+                                    client_cfg_id=self._config_id))
+                    except (NetworkError, StaleConfiguration):
+                        pass
+                updates[fid] = fragment.replace(
+                    primary=address, secondary=None, mode=FragmentMode.NORMAL,
+                    cfg_id=new_id, wst_active=False)
+                continue
+            floor = self._pre_failure_cfg.get(fid, fragment.cfg_id)
+            info = fragment.replace(
+                primary=address, mode=FragmentMode.RECOVERY, cfg_id=floor,
+                wst_active=self.policy.working_set_transfer)
+            updates[fid] = info
+            recovery_fragments.append(info)
+        self.transitions.append((self.sim.now, "recover-gemini", address,
+                                 len(updates)))
+        yield from self._commit(new_id, updates)
+        # Refresh the fallback dirty copies *after* instances learned the
+        # new id: no append can race past this point (stale writers bounce).
+        for info in recovery_fragments:
+            if info.secondary is None:
+                continue
+            try:
+                dirty = yield self.network.call(
+                    info.secondary,
+                    CacheOp(op="get_dirty", fragment_id=info.fragment_id,
+                            client_cfg_id=self._config_id))
+            except (NetworkError, StaleConfiguration):
+                continue
+            if dirty is not CACHE_MISS:
+                self._dirty_copy[info.fragment_id] = dirty.keys()
+        if self.policy.working_set_transfer and recovery_fragments:
+            self.sim.process(self._wst_monitor(address),
+                             name=f"wst-monitor:{address}")
+
+    def _handle_dirty_done(self, fragment_id: int):
+        yield self._lock.acquire()
+        try:
+            fragment = self._fragments.get(fragment_id)
+            if fragment is None or fragment.mode is not FragmentMode.RECOVERY:
+                return
+            self._dirty_done.add(fragment_id)
+            self._dirty_copy.pop(fragment_id, None)
+            if fragment.wst_active:
+                return  # stays in recovery until the transfer terminates
+            new_id = self._config_id + 1
+            updates = {fragment_id: fragment.replace(
+                secondary=None, mode=FragmentMode.NORMAL)}
+            self.transitions.append((self.sim.now, "dirty-done", fragment_id, 1))
+            yield from self._commit(new_id, updates)
+        finally:
+            self._lock.release()
+
+    def _handle_dirty_lost(self, fragment_id: int):
+        """The dirty list was evicted (or found partial): terminate
+        transient mode and discard the primary replica (Section 3.1)."""
+        yield self._lock.acquire()
+        try:
+            fragment = self._fragments.get(fragment_id)
+            if fragment is None or fragment.mode is not FragmentMode.TRANSIENT:
+                return
+            self._recoverable[fragment_id] = False
+            new_id = self._config_id + 1
+            # Promote the secondary to primary (Section 3.1); the old
+            # primary replica is dead content that the floor bump discards
+            # when its instance returns and the fragment is handed back.
+            updates = {fragment_id: fragment.replace(
+                primary=fragment.secondary, secondary=None,
+                mode=FragmentMode.NORMAL, cfg_id=new_id)}
+            self.fragments_discarded += 1
+            self.transitions.append((self.sim.now, "dirty-lost", fragment_id, 1))
+            yield from self._commit(new_id, updates)
+        finally:
+            self._lock.release()
+
+    def _handle_wst_done(self, address: str):
+        yield self._lock.acquire()
+        try:
+            new_id = self._config_id + 1
+            updates = {}
+            for fragment in self._fragments.values():
+                if fragment.primary != address or not fragment.wst_active:
+                    continue
+                fid = fragment.fragment_id
+                if fid in self._dirty_done:
+                    updates[fid] = fragment.replace(
+                        secondary=None, mode=FragmentMode.NORMAL,
+                        wst_active=False)
+                else:
+                    updates[fid] = fragment.replace(wst_active=False)
+            if not updates:
+                return
+            self.transitions.append((self.sim.now, "wst-done", address,
+                                     len(updates)))
+            yield from self._commit(new_id, updates)
+        finally:
+            self._lock.release()
+
+    def _round_robin_assigner(self, exclude: Set[str]):
+        """Yield surviving instances round-robin (Section 4's distribution
+        of a failed instance's fragments)."""
+        candidates = [a for a in self._instances
+                      if a in self._alive and a not in exclude]
+        if not candidates:
+            raise CoordinatorError("no surviving instance to assign to")
+        index = 0
+        while True:
+            yield candidates[index % len(candidates)]
+            index += 1
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def _commit(self, new_id: int, updates: Dict[int, FragmentInfo]):
+        """Mutate the authoritative table, then push the configuration."""
+        self._config_id = new_id
+        for fid, info in updates.items():
+            self._fragments[fid] = info
+        self.current = self.current.evolve(new_id, updates)
+        yield from self._push_configuration()
+
+    def _push_configuration(self):
+        """Instances first (stale clients must bounce), then subscribers."""
+        self.publishes += 1
+        config = self.current
+        calls = []
+        for instance in self.alive_instances():
+            calls.append(self.network.call(
+                instance, CacheOp(op="set_config", value=config)))
+        for call in calls:
+            try:
+                yield call
+            except (NetworkError, StaleConfiguration):
+                continue
+        self.published = config
+        for callback in self._subscribers:
+            callback(config)
+
+    def _create_dirty_lists(self, creates: List[tuple]):
+        """Initialize marker-bearing dirty lists on the new secondaries."""
+        for secondary, fragment_id in creates:
+            try:
+                yield self.network.call(
+                    secondary,
+                    CacheOp(op="create_dirty", fragment_id=fragment_id,
+                            client_cfg_id=self._config_id))
+            except (NetworkError, StaleConfiguration):
+                self.notify_dirty_lost(fragment_id)
+
+    # ------------------------------------------------------------------
+    # Monitoring (instance hit ratios; WST termination, Section 3.2.2)
+    # ------------------------------------------------------------------
+    def start_monitor(self) -> None:
+        """Sample alive instances' hit ratios every monitor_interval.
+
+        Keeps the windowed hit ratio used as the h threshold snapshot at
+        failure time.
+        """
+        self.sim.process(self._monitor_loop(), name="coord-monitor")
+
+    def _monitor_loop(self):
+        while True:
+            yield self.monitor_interval
+            for address in self.alive_instances():
+                try:
+                    stats = yield self.network.call(
+                        address, CacheOp(op="stats"))
+                except (NetworkError, StaleConfiguration):
+                    continue
+                last = self._last_stats.get(address)
+                if last is not None:
+                    hits = stats["hits"] - last["hits"]
+                    misses = stats["misses"] - last["misses"]
+                    total = hits + misses
+                    if total > 0:
+                        self._window_hit[address] = hits / total
+                self._last_stats[address] = stats
+
+    def _wst_monitor(self, address: str):
+        """Terminate the working-set transfer for `address`'s fragments
+        once primary hit ratio > h or secondary WST miss ratio > m."""
+        h = self.policy.wst_hit_threshold
+        if h is None:
+            captured = self._pre_failure_hit.get(address, 0.0)
+            h = max(0.0, captured - self.policy.wst_epsilon)
+        m = min(1.0, 1.0 - h + self.policy.wst_epsilon)
+        started = self.sim.now
+        while True:
+            yield self.monitor_interval
+            if self.sim.now - started > self.wst_max_duration:
+                self.notify_wst_done(address)
+                return
+            fragment_active = any(
+                f.primary == address and f.wst_active
+                for f in self._fragments.values())
+            if not fragment_active:
+                return
+            if address not in self._alive:
+                return
+            primary_hit = self._window_hit.get(address)
+            if primary_hit is not None and h > 0 and primary_hit >= h:
+                self.notify_wst_done(address)
+                return
+            if self._wst_feedback is not None:
+                counts = self._wst_feedback(address)
+                last = self._last_wst_counts.get(address, {"hits": 0, "misses": 0})
+                hits = counts["hits"] - last["hits"]
+                misses = counts["misses"] - last["misses"]
+                self._last_wst_counts[address] = dict(counts)
+                total = hits + misses
+                if total > 10 and misses / total >= m:
+                    self.notify_wst_done(address)
+                    return
+
+    # ------------------------------------------------------------------
+    def fragment(self, fragment_id: int) -> FragmentInfo:
+        return self._fragments[fragment_id]
+
+    def home_of(self, fragment_id: int) -> str:
+        return self._home[fragment_id]
+
+    # ------------------------------------------------------------------
+    # State replication (shadow coordinators, Section 2.1)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Everything a shadow needs to take over."""
+        return {
+            "config": self.current,
+            "config_id": self._config_id,
+            "alive": set(self._alive),
+            "home": dict(self._home),
+            "pre_failure_cfg": dict(self._pre_failure_cfg),
+            "recoverable": dict(self._recoverable),
+            "dirty_done": set(self._dirty_done),
+            "dirty_copy": {k: list(v) for k, v in self._dirty_copy.items()},
+            "pre_failure_hit": dict(self._pre_failure_hit),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a replicated snapshot (shadow promotion)."""
+        self.current = state["config"]
+        self.published = state["config"]
+        self._config_id = state["config_id"]
+        self._fragments = {f.fragment_id: f for f in self.current.fragments}
+        self._alive = set(state["alive"])
+        self._home = dict(state["home"])
+        self._pre_failure_cfg = dict(state["pre_failure_cfg"])
+        self._recoverable = dict(state["recoverable"])
+        self._dirty_done = set(state["dirty_done"])
+        self._dirty_copy = {k: list(v) for k, v in state["dirty_copy"].items()}
+        self._pre_failure_hit = dict(state["pre_failure_hit"])

@@ -1,0 +1,87 @@
+"""Master + shadow coordinators.
+
+The paper keeps one master and one or more shadow coordinators in
+ZooKeeper and promotes a shadow when the master fails (like RAMCloud).
+Its prototype — like this reproduction — does not run a real ZooKeeper;
+we model the ensemble directly: the master replicates a state snapshot to
+every shadow after each publish, and :meth:`fail_master` promotes the
+first shadow, which adopts the last replicated snapshot and the client
+subscriptions. Clients resolve the active coordinator through
+:attr:`active_address`, standing in for the ZooKeeper lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coordinator.coordinator import Coordinator
+from repro.errors import CoordinatorError
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+
+__all__ = ["CoordinatorEnsemble"]
+
+
+class CoordinatorEnsemble:
+    """One master coordinator plus hot shadows."""
+
+    def __init__(self, sim: Simulator, network: Network, master: Coordinator,
+                 num_shadows: int = 1):
+        if num_shadows < 0:
+            raise CoordinatorError("num_shadows must be >= 0")
+        self.sim = sim
+        self.network = network
+        self.master = master
+        self.shadows: List[Coordinator] = []
+        self._snapshots: Dict[str, dict] = {}
+        self.promotions = 0
+        for index in range(num_shadows):
+            shadow = Coordinator(
+                sim, network,
+                instances=list(master._instances),
+                num_fragments=master.current.num_fragments,
+                policy=master.policy,
+                address=f"{master.address}-shadow-{index}",
+                initial_config_id=master.current.config_id,
+                monitor_interval=master.monitor_interval,
+            )
+            network.register(shadow)
+            self.shadows.append(shadow)
+        # Replicate on every publish: piggyback on the subscriber fan-out.
+        master.subscribe(lambda config: self._replicate())
+        self._replicate()
+
+    @property
+    def active(self) -> Coordinator:
+        return self.master
+
+    @property
+    def active_address(self) -> str:
+        return self.master.address
+
+    def _replicate(self) -> None:
+        snapshot = self.master.snapshot_state()
+        for shadow in self.shadows:
+            self._snapshots[shadow.address] = snapshot
+
+    def fail_master(self) -> Coordinator:
+        """Kill the master and promote the first shadow.
+
+        Subscriptions move to the new master so clients keep receiving
+        configurations; returns the promoted coordinator.
+        """
+        if not self.shadows:
+            raise CoordinatorError("no shadow available for promotion")
+        old = self.master
+        old.fail()
+        promoted = self.shadows.pop(0)
+        snapshot = self._snapshots.get(promoted.address)
+        if snapshot is not None:
+            promoted.restore_state(snapshot)
+        promoted._subscribers = list(old._subscribers)
+        promoted._wst_feedback = old._wst_feedback
+        self.master = promoted
+        self.promotions += 1
+        promoted.subscribe(lambda config: self._replicate())
+        self._replicate()
+        return promoted

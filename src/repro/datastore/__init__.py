@@ -1,0 +1,5 @@
+"""Backing data store substrate (the paper's MongoDB)."""
+
+from repro.datastore.store import DataStore, DataStoreOp
+
+__all__ = ["DataStore", "DataStoreOp"]

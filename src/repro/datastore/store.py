@@ -1,0 +1,109 @@
+"""A versioned key-value data store with bounded service capacity.
+
+Stands in for the paper's MongoDB server. Two properties matter for
+reproducing the evaluation:
+
+1. **Queries are much slower than cache hits.** Defaults: ~1 ms service
+   time per read, ~1.2 ms per write, versus ~5 µs at a cache instance.
+   This ratio is what makes VolatileCache take hundreds of (simulated)
+   seconds to re-warm while Gemini takes seconds.
+2. **Capacity is bounded.** A single station with a limited number of
+   servers means a miss storm (20 recovered-but-empty instances) queues
+   up, and a *high* offered load re-warms the cache faster in absolute
+   terms but hurts foreground latency — both effects visible in
+   Figures 8–9.
+
+Every committed write increments the key's version; the consistency
+oracle subscribes to commits to later judge read staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import CacheError
+from repro.sim.core import Simulator
+from repro.sim.network import RemoteNode
+from repro.types import Value
+
+__all__ = ["DataStore", "DataStoreOp"]
+
+
+@dataclass
+class DataStoreOp:
+    """One request to the data store: ``op`` is "read" or "write"."""
+
+    op: str
+    key: str
+    size: Optional[int] = None
+
+
+class DataStore(RemoteNode):
+    """Versioned KV store; versions start at 1 once a record exists."""
+
+    def __init__(self, sim: Simulator, address: str = "datastore",
+                 read_service_time: float = 1e-3,
+                 write_service_time: float = 1.2e-3,
+                 servers: int = 32,
+                 default_record_size: int = 1024):
+        super().__init__(sim, address, servers=servers)
+        self.read_service_time = read_service_time
+        self.write_service_time = write_service_time
+        self.default_record_size = default_record_size
+        self._versions: Dict[str, int] = {}
+        self._sizes: Dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self._commit_listeners: List[Callable[[str, int, float], None]] = []
+
+    # ------------------------------------------------------------------
+    def populate(self, keys, size_of: Optional[Callable[[str], int]] = None) -> None:
+        """Bulk-load records at version 1 (experiment setup; no sim time)."""
+        for key in keys:
+            self._versions[key] = 1
+            if size_of is not None:
+                self._sizes[key] = size_of(key)
+
+    def subscribe_commits(self, listener: Callable[[str, int, float], None]) -> None:
+        """``listener(key, version, commit_time)`` on every committed write."""
+        self._commit_listeners.append(listener)
+
+    def version(self, key: str) -> int:
+        """Current committed version (0 = record does not exist)."""
+        return self._versions.get(key, 0)
+
+    def record_size(self, key: str) -> int:
+        return self._sizes.get(key, self.default_record_size)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    # ------------------------------------------------------------------
+    def service_time(self, request: DataStoreOp) -> float:
+        if request.op == "write":
+            return self.write_service_time
+        return self.read_service_time
+
+    def handle_request(self, request: DataStoreOp) -> Value:
+        if request.op == "read":
+            return self._read(request.key)
+        if request.op == "write":
+            return self._write(request.key, request.size)
+        raise CacheError(f"unknown data store op {request.op!r}")
+
+    def _read(self, key: str) -> Value:
+        self.reads += 1
+        return Value(version=self._versions.get(key, 0),
+                     size=self.record_size(key))
+
+    def _write(self, key: str, size: Optional[int]) -> Value:
+        self.writes += 1
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        if size is not None:
+            self._sizes[key] = size
+        now = self.sim.now
+        for listener in self._commit_listeners:
+            listener(key, version, now)
+        return Value(version=version, size=self.record_size(key))

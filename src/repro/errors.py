@@ -1,0 +1,102 @@
+"""Exception hierarchy for the Gemini reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the interesting cases (lease
+back-off, unavailable instances, stale configurations, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly."""
+
+
+class Interrupt(ReproError):
+    """A process was interrupted (e.g. by failure injection).
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """Base class for simulated network failures."""
+
+
+class HostUnreachable(NetworkError):
+    """The destination node is down or unknown; the RPC timed out."""
+
+    def __init__(self, address, message=""):
+        super().__init__(message or f"host {address!r} unreachable")
+        self.address = address
+
+
+class RequestTimeout(NetworkError):
+    """An RPC did not complete within its timeout."""
+
+
+class CacheError(ReproError):
+    """Base class for cache-instance level errors."""
+
+
+class LeaseBackoff(CacheError):
+    """A lease request must back off and retry (I/I or Redlease conflict)."""
+
+    def __init__(self, key, message=""):
+        super().__init__(message or f"back off on {key!r}")
+        self.key = key
+
+
+class LeaseVoided(CacheError):
+    """An operation presented a lease token that is no longer valid."""
+
+
+class InstanceDown(CacheError):
+    """The cache instance is failed and cannot serve requests."""
+
+
+class StaleConfiguration(ReproError):
+    """A request carried a configuration id older than the instance's.
+
+    Clients react by refreshing their cached configuration (Section 2.1 /
+    Rejig protocol).
+    """
+
+    def __init__(self, known_id, message=""):
+        super().__init__(message or f"stale configuration, instance knows id {known_id}")
+        self.known_id = known_id
+
+
+class FragmentUnavailable(ReproError):
+    """No replica of the fragment can currently serve requests.
+
+    Raised during the window between a primary failing and the coordinator
+    publishing a secondary (Section 2.2: writes are suspended, reads go to
+    the data store).
+    """
+
+    def __init__(self, fragment_id, message=""):
+        super().__init__(message or f"fragment {fragment_id} unavailable")
+        self.fragment_id = fragment_id
+
+
+class CoordinatorError(ReproError):
+    """The coordinator rejected a request or is itself unavailable."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class ConsistencyViolation(ReproError):
+    """Raised by the verification oracle when configured to be strict."""

@@ -1,0 +1,6 @@
+"""Experiment harness: cluster assembly, runners, canned scenarios."""
+
+from repro.harness.cluster import ClusterSpec, GeminiCluster
+from repro.harness.experiment import Experiment, ExperimentResult
+
+__all__ = ["ClusterSpec", "Experiment", "ExperimentResult", "GeminiCluster"]

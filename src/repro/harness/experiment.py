@@ -1,0 +1,165 @@
+"""Experiment runner.
+
+An :class:`Experiment` schedules outages against a cluster, drives load
+for a fixed simulated duration, samples the per-second series the paper
+plots, and returns an :class:`ExperimentResult` with the derived
+measurements (time to restore hit ratio, recovery time, stale-read
+series, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cluster import GeminiCluster
+from repro.sim.failures import FailureSchedule
+from repro.types import FragmentMode
+
+__all__ = ["Experiment", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    cluster: GeminiCluster
+    duration: float
+    #: per-second (time, hit ratio) sampled from instance counters.
+    instance_hit_series: Dict[str, List[Tuple[float, float]]]
+    #: time each recovered instance finished recovery (no fragment left in
+    #: transient/recovery mode), keyed by address.
+    recovery_complete_at: Dict[str, float]
+    #: time each instance's outage ended (its "recover" event).
+    recovered_at: Dict[str, float]
+
+    @property
+    def recorder(self):
+        return self.cluster.recorder
+
+    @property
+    def oracle(self):
+        return self.cluster.oracle
+
+    def recovery_time(self, address: str) -> Optional[float]:
+        """Seconds from instance recovery to all-fragments-normal
+        (Figure 8.b/8.c's 'recovery time')."""
+        if address not in self.recovered_at:
+            return None
+        done = self.recovery_complete_at.get(address)
+        if done is None:
+            return None
+        return max(0.0, done - self.recovered_at[address])
+
+    def time_to_restore_hit_ratio(self, address: str, threshold: float
+                                  ) -> Optional[float]:
+        """Seconds from instance recovery until its windowed hit ratio
+        first reaches ``threshold`` (Figures 8.a and 9)."""
+        recovered = self.recovered_at.get(address)
+        if recovered is None:
+            return None
+        for when, ratio in self.instance_hit_series.get(address, []):
+            if when >= recovered and ratio >= threshold:
+                return when - recovered
+        return None
+
+    def hit_ratio_before(self, address: str, when: float,
+                         window: float = 5.0) -> float:
+        """Mean windowed hit ratio of `address` over [when-window, when)."""
+        points = [r for t, r in self.instance_hit_series.get(address, [])
+                  if when - window <= t < when]
+        if not points:
+            return 0.0
+        return sum(points) / len(points)
+
+    def cluster_hit_ratio_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.hit_ratio.ratio_series()
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.throughput.rates()
+
+    def p90_read_latency_series(self) -> List[Tuple[float, float]]:
+        return self.recorder.read_latency.percentile_series(90)
+
+    def stale_reads_per_second(self) -> Dict[float, int]:
+        return self.oracle.stale_reads_per_second()
+
+
+class Experiment:
+    """Drives one run: warmed cluster + load + failure schedule."""
+
+    def __init__(self, cluster: GeminiCluster, duration: float,
+                 failures: Sequence[FailureSchedule] = (),
+                 sample_interval: float = 1.0):
+        self.cluster = cluster
+        self.duration = duration
+        self.failures = list(failures)
+        self.sample_interval = sample_interval
+        self._load_threads: List = []
+        self._last_counts: Dict[str, Tuple[int, int]] = {}
+        self._hit_series: Dict[str, List[Tuple[float, float]]] = {
+            a: [] for a in cluster.instance_addresses}
+        self._recovered_at: Dict[str, float] = {}
+        self._recovery_complete_at: Dict[str, float] = {}
+
+    def add_load(self, thread) -> None:
+        """Register a load generator with .start() (ClosedLoopThread etc)."""
+        self._load_threads.append(thread)
+
+    def run(self) -> ExperimentResult:
+        cluster = self.cluster
+        sim = cluster.sim
+        cluster.start()
+        cluster.injector.subscribe(self._on_injector_event)
+        cluster.injector.apply_all(self.failures)
+        for thread in self._load_threads:
+            thread.start()
+        sim.process(self._sampler(), name="experiment-sampler")
+        sim.run(until=self.duration)
+        return ExperimentResult(
+            cluster=cluster,
+            duration=self.duration,
+            instance_hit_series=self._hit_series,
+            recovery_complete_at=self._recovery_complete_at,
+            recovered_at=self._recovered_at,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_injector_event(self, event: str, address: str) -> None:
+        if event == "recover":
+            self._recovered_at[address] = self.cluster.sim.now
+            self._recovery_complete_at.pop(address, None)
+
+    def _sampler(self):
+        """Per-second sampling of instance hit ratios and recovery state."""
+        sim = self.cluster.sim
+        while True:
+            yield self.sample_interval
+            now = sim.now
+            for address, instance in self.cluster.instances.items():
+                hits = instance.stats.hits
+                misses = instance.stats.misses
+                last_hits, last_misses = self._last_counts.get(address, (0, 0))
+                delta_h = hits - last_hits
+                delta_m = misses - last_misses
+                self._last_counts[address] = (hits, misses)
+                total = delta_h + delta_m
+                ratio = delta_h / total if total else 0.0
+                self._hit_series[address].append((now, ratio))
+            self._check_recovery_completion(now)
+
+    def _check_recovery_completion(self, now: float) -> None:
+        for address in self._recovered_at:
+            if address in self._recovery_complete_at:
+                continue
+            pending = 0
+            for fragment in self.cluster.coordinator.current.fragments:
+                if (fragment.primary == address
+                        and fragment.mode is not FragmentMode.NORMAL):
+                    pending += 1
+                elif (self.cluster.coordinator.home_of(fragment.fragment_id)
+                        == address
+                        and fragment.mode is FragmentMode.TRANSIENT):
+                    pending += 1
+            if pending == 0:
+                self._recovery_complete_at[address] = now

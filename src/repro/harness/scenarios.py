@@ -1,0 +1,175 @@
+"""Canned experiment builders for the paper's evaluation (Section 5).
+
+Each builder assembles a scaled-down version of one experimental setup —
+same knobs, same shape, smaller numbers (see EXPERIMENTS.md for the
+scaling table). Benchmarks and examples share these so that "Figure 8,
+low load, 5 % updates" means the same thing everywhere.
+
+Scaling defaults: the paper ran 10 M records on 5–100 instances with 40
+(low) / 200 (high) YCSB threads. We default to thousands of records and
+single-digit thread counts; the cache:store service-time ratio (~5 µs vs
+~1.5 ms) and the cache-size:database ratio (50 %) — the quantities the
+results actually depend on — are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.cluster import ClusterSpec, GeminiCluster
+from repro.harness.experiment import Experiment
+from repro.recovery.policies import RecoveryPolicy
+from repro.sim.failures import FailureSchedule
+from repro.workload.facebook import FacebookWorkload
+from repro.workload.ycsb import WORKLOAD_B, ClosedLoopThread, YcsbWorkload
+
+__all__ = [
+    "LOW_LOAD_THREADS",
+    "HIGH_LOAD_THREADS",
+    "YcsbScenario",
+    "build_ycsb_experiment",
+    "build_facebook_experiment",
+    "pre_failure_threshold",
+]
+
+#: The paper uses 40 / 200 YCSB threads; scaled to our op-rate budget.
+LOW_LOAD_THREADS = 2
+HIGH_LOAD_THREADS = 5
+
+
+@dataclass
+class YcsbScenario:
+    """One YCSB experiment cell."""
+
+    policy: RecoveryPolicy
+    update_fraction: float = 0.01
+    threads: int = LOW_LOAD_THREADS
+    records: int = 3000
+    record_size: int = 1024
+    zipf_theta: float = 0.9
+    num_instances: int = 5
+    fragments_per_instance: int = 20
+    num_workers: int = 2
+    seed: int = 42
+    fail_at: float = 10.0
+    outage: float = 10.0
+    tail: float = 60.0  # measured time after recovery
+    targets: Sequence[str] = ("cache-0",)
+    #: None = static pattern; 0.2 / 1.0 = the paper's evolving patterns.
+    switch_fraction: Optional[float] = None
+    datastore_read_time: float = 1.5e-3
+    datastore_write_time: float = 1.8e-3
+    datastore_servers: int = 16
+    extra_failures: Sequence[FailureSchedule] = field(default_factory=tuple)
+
+    @property
+    def duration(self) -> float:
+        return self.fail_at + self.outage + self.tail
+
+
+def build_ycsb_experiment(scenario: YcsbScenario
+                          ) -> Tuple[GeminiCluster, YcsbWorkload, Experiment]:
+    """Assemble a warmed cluster + closed-loop load + failure schedule."""
+    spec = ClusterSpec(
+        num_instances=scenario.num_instances,
+        fragments_per_instance=scenario.fragments_per_instance,
+        num_clients=min(5, max(1, scenario.threads // 2)),
+        num_workers=scenario.num_workers,
+        policy=scenario.policy,
+        seed=scenario.seed,
+        datastore_read_time=scenario.datastore_read_time,
+        datastore_write_time=scenario.datastore_write_time,
+        datastore_servers=scenario.datastore_servers,
+    )
+    cluster = GeminiCluster(spec)
+    workload_spec = (WORKLOAD_B
+                     .with_records(scenario.records, scenario.record_size)
+                     .with_update_fraction(scenario.update_fraction))
+    workload_spec = type(workload_spec)(**{
+        **workload_spec.__dict__, "zipf_theta": scenario.zipf_theta})
+    workload = YcsbWorkload(workload_spec, cluster.rng.stream("load"))
+    workload.populate(cluster.datastore)
+    # Cache sized to 50 % of the database (the paper's ratio), but never
+    # below what the active set needs spread across instances.
+    cluster.size_memory_for(scenario.records
+                            * (scenario.record_size + 100))
+    cluster.warm_cache(workload.keyspace.active_keys())
+    failures: List[FailureSchedule] = []
+    if scenario.outage > 0:
+        failures.append(FailureSchedule(
+            at=scenario.fail_at, duration=scenario.outage,
+            targets=tuple(scenario.targets)))
+    failures.extend(scenario.extra_failures)
+    experiment = Experiment(cluster, duration=scenario.duration,
+                            failures=failures)
+    for index in range(scenario.threads):
+        client = cluster.clients[index % len(cluster.clients)]
+        experiment.add_load(ClosedLoopThread(
+            cluster.sim, client, workload, name=f"ycsb-{index}"))
+    if scenario.switch_fraction is not None:
+        if scenario.switch_fraction >= 1.0:
+            cluster.sim.schedule_at(scenario.fail_at,
+                                    workload.keyspace.switch_full)
+        else:
+            cluster.sim.schedule_at(scenario.fail_at,
+                                    workload.keyspace.switch_hottest,
+                                    scenario.switch_fraction)
+    return cluster, workload, experiment
+
+
+def build_facebook_experiment(policy: RecoveryPolicy, *,
+                              num_instances: int = 10,
+                              failed_fraction: float = 0.2,
+                              records: int = 4000,
+                              request_rate: float = 4000.0,
+                              fail_at: float = 10.0,
+                              outage: float = 20.0,
+                              tail: float = 30.0,
+                              fragments_per_instance: int = 10,
+                              seed: int = 42):
+    """The Section 5.1 setup: Facebook-like open-loop trace, a fifth of
+    the instances failing, cache at 50 % of the database."""
+    from repro.workload.trace import TraceReplayer
+
+    spec = ClusterSpec(
+        num_instances=num_instances,
+        fragments_per_instance=fragments_per_instance,
+        num_clients=4, num_workers=2, policy=policy, seed=seed,
+        datastore_read_time=1.5e-3, datastore_write_time=1.8e-3,
+        datastore_servers=24,
+    )
+    cluster = GeminiCluster(spec)
+    workload = FacebookWorkload(
+        record_count=records, rng=cluster.rng.stream("facebook"),
+        mean_inter_arrival=1.0 / request_rate)
+    workload.populate(cluster.datastore)
+    total_bytes = sum(
+        workload.value_size(key) + 100 for key in workload.keyspace.all_keys())
+    cluster.size_memory_for(total_bytes)
+    cluster.warm_cache(workload.keyspace.active_keys(),
+                       value_size=workload.value_size)
+    targets = [f"cache-{i}"
+               for i in range(max(1, int(num_instances * failed_fraction)))]
+    duration = fail_at + outage + tail
+    experiment = Experiment(cluster, duration=duration, failures=[
+        FailureSchedule(at=fail_at, duration=outage, targets=targets)])
+    replayer = TraceReplayer(
+        cluster.sim, cluster.clients[0], max_in_flight=512,
+        pick_client=lambda record: cluster.clients[
+            hash(record.key) % len(cluster.clients)])
+
+    class _ReplayerThread:
+        """Adapter so Experiment.add_load can start the replayer."""
+
+        def start(self):
+            return replayer.start(workload.generate(duration))
+
+    experiment.add_load(_ReplayerThread())
+    return cluster, workload, experiment, targets
+
+
+def pre_failure_threshold(result, address: str, fail_at: float,
+                          epsilon: float = 0.03) -> float:
+    """The h threshold: pre-failure hit ratio minus epsilon (Sec 3.2.2)."""
+    return max(0.05, result.hit_ratio_before(address, fail_at) - epsilon)

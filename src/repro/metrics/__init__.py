@@ -1,0 +1,16 @@
+"""Measurement: time series, latency percentiles, and report formatting."""
+
+from repro.metrics.series import TimeSeries, WindowedCounter
+from repro.metrics.latency import LatencyReservoir, percentile
+from repro.metrics.recorder import OpRecorder
+from repro.metrics.report import format_table, render_series
+
+__all__ = [
+    "LatencyReservoir",
+    "OpRecorder",
+    "TimeSeries",
+    "WindowedCounter",
+    "format_table",
+    "percentile",
+    "render_series",
+]

@@ -1,0 +1,77 @@
+"""Plain-text report rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report. These helpers keep that output aligned and readable in a
+terminal and in the captured bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["format_table", "render_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_series(series: Sequence[Tuple[float, float]], title: str = "",
+                  width: int = 60, height: int = 12) -> str:
+    """ASCII line plot of an (x, y) series — a stand-in for the figures."""
+    if not series:
+        return f"{title}\n(empty series)"
+    xs = [p[0] for p in series]
+    ys = [p[1] for p in series]
+    lo, hi = min(ys), max(ys)
+    if hi == lo:
+        hi = lo + 1.0
+    columns: List[float] = []
+    x_min, x_max = xs[0], xs[-1]
+    span = (x_max - x_min) or 1.0
+    buckets: List[List[float]] = [[] for __ in range(width)]
+    for x, y in series:
+        index = min(width - 1, int((x - x_min) / span * width))
+        buckets[index].append(y)
+    last = ys[0]
+    for bucket in buckets:
+        if bucket:
+            last = sum(bucket) / len(bucket)
+        columns.append(last)
+    grid = [[" "] * width for __ in range(height)]
+    for col, y in enumerate(columns):
+        row = int((y - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"t={x_min:.0f}s".ljust(width - 10) + f"t={x_max:.0f}s")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Bucketed time series.
+
+All of the paper's figures are per-second series (hit ratio, throughput,
+stale reads). :class:`TimeSeries` accumulates values into fixed-width
+buckets keyed by simulated time, bounded in memory no matter how many
+events flow through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TimeSeries", "WindowedCounter"]
+
+
+class TimeSeries:
+    """Per-bucket accumulator: counts and sums, O(1) per observation."""
+
+    def __init__(self, bucket_width: float = 1.0):
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.bucket_width = bucket_width
+        self._count: Dict[int, int] = {}
+        self._sum: Dict[int, float] = {}
+
+    def add(self, when: float, value: float = 1.0) -> None:
+        bucket = int(when / self.bucket_width)
+        self._count[bucket] = self._count.get(bucket, 0) + 1
+        self._sum[bucket] = self._sum.get(bucket, 0.0) + value
+
+    def count_at(self, when: float) -> int:
+        return self._count.get(int(when / self.bucket_width), 0)
+
+    def counts(self) -> List[Tuple[float, int]]:
+        """(bucket start time, observation count) sorted by time."""
+        return [(b * self.bucket_width, c)
+                for b, c in sorted(self._count.items())]
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """(bucket start time, observations per second)."""
+        return [(t, c / self.bucket_width) for t, c in self.counts()]
+
+    def means(self) -> List[Tuple[float, float]]:
+        """(bucket start time, mean observed value)."""
+        out = []
+        for bucket, count in sorted(self._count.items()):
+            out.append((bucket * self.bucket_width,
+                        self._sum[bucket] / count))
+        return out
+
+    def total_count(self) -> int:
+        return sum(self._count.values())
+
+    def total_sum(self) -> float:
+        return sum(self._sum.values())
+
+    def __len__(self) -> int:
+        return len(self._count)
+
+
+class WindowedCounter:
+    """Ratio of two co-bucketed series (e.g. hits vs lookups).
+
+    ``ratio_series`` yields per-bucket numerator/denominator, the shape of
+    Figure 6/7 hit-ratio curves.
+    """
+
+    def __init__(self, bucket_width: float = 1.0):
+        self.bucket_width = bucket_width
+        self._num: Dict[int, int] = {}
+        self._den: Dict[int, int] = {}
+
+    def observe(self, when: float, success: bool) -> None:
+        bucket = int(when / self.bucket_width)
+        self._den[bucket] = self._den.get(bucket, 0) + 1
+        if success:
+            self._num[bucket] = self._num.get(bucket, 0) + 1
+
+    def ratio_at(self, when: float) -> Optional[float]:
+        bucket = int(when / self.bucket_width)
+        den = self._den.get(bucket, 0)
+        if den == 0:
+            return None
+        return self._num.get(bucket, 0) / den
+
+    def ratio_series(self) -> List[Tuple[float, float]]:
+        out = []
+        for bucket, den in sorted(self._den.items()):
+            out.append((bucket * self.bucket_width,
+                        self._num.get(bucket, 0) / den))
+        return out
+
+    def overall_ratio(self) -> float:
+        den = sum(self._den.values())
+        if den == 0:
+            return 0.0
+        return sum(self._num.values()) / den
+
+    def first_time_reaching(self, threshold: float,
+                            after: float = 0.0) -> Optional[float]:
+        """Earliest bucket at/after `after` whose ratio >= threshold —
+        the 'time to restore hit ratio' measurement of Figures 8–9."""
+        for when, ratio in self.ratio_series():
+            if when >= after and ratio >= threshold:
+                return when
+        return None

@@ -1,0 +1,25 @@
+"""Recovery policies (Gemini variants + baselines) and recovery workers."""
+
+from repro.recovery.policies import (
+    GEMINI_I,
+    GEMINI_I_W,
+    GEMINI_O,
+    GEMINI_O_W,
+    STALE_CACHE,
+    VOLATILE_CACHE,
+    RecoveryPolicy,
+    policy_by_name,
+)
+from repro.recovery.worker import RecoveryWorker
+
+__all__ = [
+    "GEMINI_I",
+    "GEMINI_I_W",
+    "GEMINI_O",
+    "GEMINI_O_W",
+    "STALE_CACHE",
+    "VOLATILE_CACHE",
+    "RecoveryPolicy",
+    "RecoveryWorker",
+    "policy_by_name",
+]

@@ -1,0 +1,106 @@
+"""Recovery policies: the four Gemini variations plus the two baselines.
+
+Figure 5 of the paper crosses two knobs — how recovery workers treat
+dirty keys (Invalidate vs Overwrite) and whether the working set is
+transferred (+W) — giving Gemini-I, Gemini-O, Gemini-I+W, Gemini-O+W.
+The evaluation compares them against:
+
+* **VolatileCache** — discard the instance's content on recovery (what a
+  DRAM cache does after power loss);
+* **StaleCache** — reuse the content as-is, with no repair (what naive
+  persistent caches do), trading stale reads for instant warmth.
+
+A policy is pure configuration; the coordinator, client, and workers read
+it to decide behaviour. Policies are frozen so they can be shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RecoveryPolicy",
+    "GEMINI_I", "GEMINI_O", "GEMINI_I_W", "GEMINI_O_W",
+    "STALE_CACHE", "VOLATILE_CACHE",
+    "policy_by_name",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Behaviour of the caching tier across a failure/recovery cycle."""
+
+    name: str
+    #: "gemini" = full protocol; "stale" = reuse content unrepaired;
+    #: "volatile" = wipe content on recovery.
+    kind: str
+    #: Maintain dirty lists in secondaries during transient mode.
+    maintain_dirty: bool
+    #: Recovery workers overwrite dirty keys from the secondary (Gemini-O)
+    #: instead of deleting them (Gemini-I).
+    overwrite_dirty: bool
+    #: Transfer the working set from secondary to primary (+W variants).
+    working_set_transfer: bool
+    #: Explicit hit-ratio threshold h terminating the transfer; None means
+    #: "the instance's pre-failure hit ratio minus epsilon" (Section 3.2.2).
+    wst_hit_threshold: Optional[float] = None
+    #: Tolerance ε in the h / m = 1 - h + ε termination thresholds.
+    wst_epsilon: float = 0.02
+
+    def __post_init__(self):
+        if self.kind not in ("gemini", "stale", "volatile"):
+            raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.kind != "gemini" and (self.maintain_dirty
+                                      or self.working_set_transfer):
+            raise ValueError(
+                "baseline policies do not maintain dirty lists or transfer "
+                "working sets")
+        if self.wst_hit_threshold is not None and not (
+                0.0 < self.wst_hit_threshold <= 1.0):
+            raise ValueError("wst_hit_threshold must be in (0, 1]")
+
+    @property
+    def is_gemini(self) -> bool:
+        return self.kind == "gemini"
+
+
+GEMINI_I = RecoveryPolicy(
+    name="Gemini-I", kind="gemini", maintain_dirty=True,
+    overwrite_dirty=False, working_set_transfer=False)
+
+GEMINI_O = RecoveryPolicy(
+    name="Gemini-O", kind="gemini", maintain_dirty=True,
+    overwrite_dirty=True, working_set_transfer=False)
+
+GEMINI_I_W = RecoveryPolicy(
+    name="Gemini-I+W", kind="gemini", maintain_dirty=True,
+    overwrite_dirty=False, working_set_transfer=True)
+
+GEMINI_O_W = RecoveryPolicy(
+    name="Gemini-O+W", kind="gemini", maintain_dirty=True,
+    overwrite_dirty=True, working_set_transfer=True)
+
+STALE_CACHE = RecoveryPolicy(
+    name="StaleCache", kind="stale", maintain_dirty=False,
+    overwrite_dirty=False, working_set_transfer=False)
+
+VOLATILE_CACHE = RecoveryPolicy(
+    name="VolatileCache", kind="volatile", maintain_dirty=False,
+    overwrite_dirty=False, working_set_transfer=False)
+
+_BY_NAME = {
+    policy.name: policy
+    for policy in (GEMINI_I, GEMINI_O, GEMINI_I_W, GEMINI_O_W,
+                   STALE_CACHE, VOLATILE_CACHE)
+}
+
+
+def policy_by_name(name: str) -> RecoveryPolicy:
+    """Look up one of the six canonical policies by its paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,227 @@
+"""Stateless recovery workers (Algorithm 3, Section 3.2.3).
+
+A worker scans the configuration for fragments in recovery mode, grabs
+the Redlease on the fragment's dirty list (so exactly one worker repairs
+each fragment), and then repairs every dirty key in the recovering
+primary replica:
+
+* **Gemini-O** (``policy.overwrite_dirty``): delete the key and acquire
+  an I lease in the primary, read the latest value from the secondary,
+  and install it — the recovering instance never pays a data-store query
+  for that key again.
+* **Gemini-I**: simply delete the dirty keys; the next reader refills
+  from the data store. Cheaper when the access pattern has evolved and
+  the dirty keys will never be referenced again.
+
+Every step is idempotent (deleting or overwriting a dirty key commutes
+with concurrent client sessions thanks to the IQ leases), so a worker
+crash mid-pass is harmless: the Redlease expires and another worker
+redoes the fragment (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cache.instance import CacheOp
+from repro.coordinator.coordinator import CoordinatorOp
+from repro.errors import (
+    InstanceDown,
+    LeaseBackoff,
+    NetworkError,
+    StaleConfiguration,
+)
+from repro.recovery.policies import RecoveryPolicy
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.types import CACHE_MISS, FragmentMode
+
+__all__ = ["RecoveryWorker"]
+
+_UNREACHABLE = (NetworkError, InstanceDown)
+
+
+class RecoveryWorker:
+    """One background repair worker."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 policy: RecoveryPolicy,
+                 coordinator_address: str = "coordinator",
+                 name: str = "worker",
+                 scan_interval: float = 0.05,
+                 rng: Optional[random.Random] = None):
+        self.sim = sim
+        self.network = network
+        self.policy = policy
+        self.coordinator_address = coordinator_address
+        self.name = name
+        self.scan_interval = scan_interval
+        self.rng = rng if rng is not None else random.Random(0)
+        self.config = None
+        self.fragments_recovered = 0
+        self.keys_overwritten = 0
+        self.keys_deleted = 0
+        self.keys_skipped = 0
+        self._process = None
+
+    # ------------------------------------------------------------------
+    def on_config(self, config) -> None:
+        """Coordinator push subscription."""
+        if self.config is None or config.config_id > self.config.config_id:
+            self.config = config
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.sim.process(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.interrupt("stopped")
+            self._process = None
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            yield self.scan_interval * (0.5 + self.rng.random())
+            if self.config is None:
+                continue
+            for fragment in self.config.fragments:
+                if fragment.mode is not FragmentMode.RECOVERY:
+                    continue
+                yield from self._recover_fragment(fragment.fragment_id)
+
+    def _mode_of(self, fragment_id: int) -> FragmentMode:
+        return self.config.fragment(fragment_id).mode
+
+    def _cfg(self, **fields) -> CacheOp:
+        fields.setdefault("client_cfg_id", self.config.config_id)
+        return CacheOp(**fields)
+
+    def _recover_fragment(self, fragment_id: int):
+        fragment = self.config.fragment(fragment_id)
+        secondary = fragment.secondary
+        red_token = None
+        if secondary is not None:
+            try:
+                red_token = yield self.network.call(
+                    secondary, self._cfg(op="red_acquire",
+                                         fragment_id=fragment_id))
+            except LeaseBackoff:
+                return  # another worker owns this fragment
+            except StaleConfiguration:
+                return  # the configuration moved mid-scan; retry next pass
+            except _UNREACHABLE:
+                secondary = None  # truly gone: repair from the fallback copy
+        keys = yield from self._fetch_dirty_keys(fragment_id, secondary)
+        if keys is None:
+            # Stale-config abort: release the Redlease and retry later.
+            if secondary is not None and red_token is not None:
+                try:
+                    yield self.network.call(
+                        secondary, self._cfg(op="red_release",
+                                             fragment_id=fragment_id,
+                                             token=red_token))
+                except (StaleConfiguration, *_UNREACHABLE):
+                    pass
+            return
+        processed_all = yield from self._repair_keys(
+            fragment_id, keys, secondary)
+        if secondary is not None and red_token is not None:
+            if processed_all:
+                try:
+                    yield self.network.call(
+                        secondary, self._cfg(op="delete_dirty",
+                                             fragment_id=fragment_id))
+                except (StaleConfiguration, *_UNREACHABLE):
+                    pass
+            try:
+                yield self.network.call(
+                    secondary, self._cfg(op="red_release",
+                                         fragment_id=fragment_id,
+                                         token=red_token))
+            except (StaleConfiguration, *_UNREACHABLE):
+                pass
+        if processed_all:
+            self.fragments_recovered += 1
+            try:
+                yield self.network.call(
+                    self.coordinator_address,
+                    CoordinatorOp(op="dirty_done", fragment_id=fragment_id))
+            except _UNREACHABLE:
+                pass
+
+    def _fetch_dirty_keys(self, fragment_id: int,
+                          secondary: Optional[str]) -> List[str]:
+        if secondary is not None:
+            try:
+                dirty = yield self.network.call(
+                    secondary, self._cfg(op="get_dirty",
+                                         fragment_id=fragment_id))
+            except StaleConfiguration:
+                return None  # abort the pass; retry under the new config
+            except _UNREACHABLE:
+                dirty = CACHE_MISS
+            if dirty is not CACHE_MISS and dirty.complete:
+                return dirty.keys()
+        try:
+            copy = yield self.network.call(
+                self.coordinator_address,
+                CoordinatorOp(op="get_dirty_copy", fragment_id=fragment_id))
+        except _UNREACHABLE:
+            copy = []
+        return list(copy)
+
+    def _repair_keys(self, fragment_id: int, keys: List[str],
+                     secondary: Optional[str]):
+        """Returns True when every key was handled and the fragment stayed
+        in recovery mode for the whole pass."""
+        for key in keys:
+            fragment = self.config.fragment(fragment_id)
+            if fragment.mode is not FragmentMode.RECOVERY:
+                return False  # aborted by a concurrent transition
+            try:
+                if self.policy.overwrite_dirty and secondary is not None:
+                    yield from self._overwrite_key(fragment, key, secondary)
+                else:
+                    yield from self._delete_key(fragment, key)
+            except LeaseBackoff:
+                # A client session owns this key right now; whatever it
+                # installs is fresh, so the repair is already happening.
+                self.keys_skipped += 1
+            except StaleConfiguration:
+                return False
+            except _UNREACHABLE:
+                return False
+        return True
+
+    def _overwrite_key(self, fragment, key: str, secondary: str):
+        """Gemini-O: refresh the primary's copy from the secondary."""
+        token = yield self.network.call(
+            fragment.primary,
+            self._cfg(op="iset", key=key, fragment_cfg_id=fragment.cfg_id))
+        try:
+            value = yield self.network.call(
+                secondary, self._cfg(op="get", key=key,
+                                     fragment_cfg_id=fragment.cfg_id))
+        except (StaleConfiguration, *_UNREACHABLE):
+            value = CACHE_MISS
+        if value is not CACHE_MISS:
+            yield self.network.call(
+                fragment.primary,
+                self._cfg(op="iqset", key=key, value=value, token=token,
+                          fragment_cfg_id=fragment.cfg_id))
+            self.keys_overwritten += 1
+        else:
+            yield self.network.call(
+                fragment.primary,
+                self._cfg(op="idelete", key=key, token=token,
+                          fragment_cfg_id=fragment.cfg_id))
+            self.keys_deleted += 1
+
+    def _delete_key(self, fragment, key: str):
+        """Gemini-I: drop the stale copy; the next read refills it."""
+        yield self.network.call(
+            fragment.primary,
+            self._cfg(op="delete", key=key, fragment_cfg_id=fragment.cfg_id))
+        self.keys_deleted += 1

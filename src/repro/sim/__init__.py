@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated Gemini on an 11-node Emulab cluster. This package
+replaces that hardware with a deterministic discrete-event simulator:
+
+* :mod:`repro.sim.core` — event heap, simulated clock, one-shot events,
+  generator-based processes (a small SimPy-like kernel).
+* :mod:`repro.sim.rng` — named, independently-seeded random streams so
+  that experiments are reproducible and individual components can be
+  re-seeded without perturbing the others.
+* :mod:`repro.sim.network` — message latency, RPC, and service stations
+  (bounded-concurrency queues) used to model cache and data-store nodes.
+* :mod:`repro.sim.failures` — failure/recovery schedules for nodes.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.network import LatencyModel, Network, RemoteNode, ServiceStation
+from repro.sim.failures import FailureSchedule, FailureInjector
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FailureInjector",
+    "FailureSchedule",
+    "LatencyModel",
+    "Network",
+    "Process",
+    "RemoteNode",
+    "RngRegistry",
+    "ServiceStation",
+    "Simulator",
+    "Timeout",
+]

@@ -1,0 +1,247 @@
+"""Network, RPC, and service-capacity models.
+
+The paper's testbed was a 1 Gbps LAN with off-the-shelf servers; what its
+results actually depend on is the *ratio* of costs — a cache hit costs
+~100 µs end to end while a data-store query costs milliseconds and the
+data store saturates under a miss storm. This module models exactly those
+effects:
+
+* :class:`LatencyModel` — one-way message latency with jitter.
+* :class:`ServiceStation` — a bounded-concurrency queue in front of each
+  node; queueing delay emerges naturally under load.
+* :class:`Network` — RPC between registered :class:`RemoteNode` objects.
+  A node that is down makes callers wait out an RPC timeout and then see
+  :class:`~repro.errors.HostUnreachable`, mirroring how a real client
+  library observes a failed memcached server.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Dict, Optional
+
+from repro.errors import HostUnreachable, RequestTimeout, SimulationError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["LatencyModel", "ServiceStation", "RemoteNode", "Network"]
+
+
+class LatencyModel:
+    """One-way network latency: ``base`` plus uniform jitter.
+
+    Defaults approximate an intra-datacenter LAN (~50 µs one way).
+    """
+
+    def __init__(self, rng: random.Random, base: float = 50e-6, jitter: float = 20e-6):
+        if base < 0 or jitter < 0:
+            raise SimulationError("latency parameters must be non-negative")
+        self.rng = rng
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self) -> float:
+        if self.jitter == 0:
+            return self.base
+        return self.base + self.rng.random() * self.jitter
+
+
+class ServiceStation:
+    """A FIFO queue served by ``servers`` parallel servers.
+
+    Requests carry their own service time; when all servers are busy, new
+    requests wait. This is the mechanism behind the paper's low/high load
+    distinction: under high load the data store's station saturates and
+    miss latency balloons.
+    """
+
+    def __init__(self, sim: Simulator, servers: int = 1):
+        if servers < 1:
+            raise SimulationError("a station needs at least one server")
+        self.sim = sim
+        self.servers = servers
+        self._busy = 0
+        self._queue: deque = deque()
+        # Cumulative counters for metrics/ablation.
+        self.served = 0
+        self.total_wait = 0.0
+        self.total_service = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy_servers(self) -> int:
+        return self._busy
+
+    def submit(self, service_time: float) -> Event:
+        """Request service; the returned event succeeds when service ends."""
+        if service_time < 0:
+            raise SimulationError("negative service time")
+        done = self.sim.event()
+        entry = (done, service_time, self.sim.now)
+        if self._busy < self.servers:
+            self._start(entry)
+        else:
+            self._queue.append(entry)
+        return done
+
+    def _start(self, entry) -> None:
+        done, service_time, enqueued_at = entry
+        self._busy += 1
+        self.total_wait += self.sim.now - enqueued_at
+        self.total_service += service_time
+        self.sim.schedule(service_time, self._finish, done)
+
+    def _finish(self, done: Event) -> None:
+        self._busy -= 1
+        self.served += 1
+        if not done.triggered:
+            done.succeed(self.sim.now)
+        if self._queue and self._busy < self.servers:
+            self._start(self._queue.popleft())
+
+    def drain(self) -> None:
+        """Fail all queued requests (used when a node crashes)."""
+        while self._queue:
+            done, __, ___ = self._queue.popleft()
+            if not done.triggered:
+                done.fail(HostUnreachable("<station drained>"))
+
+
+class RemoteNode:
+    """Base class for anything reachable through :class:`Network`.
+
+    Subclasses implement :meth:`handle_request` (which may be a plain
+    function or a generator to consume further simulated time) and
+    :meth:`service_time` (CPU/storage cost of the request at the node).
+    """
+
+    def __init__(self, sim: Simulator, address: str, servers: int = 8):
+        self.sim = sim
+        self.address = address
+        self.up = True
+        self.station = ServiceStation(sim, servers=servers)
+
+    def service_time(self, request: Any) -> float:
+        """Per-request service cost at this node; override as needed."""
+        return 5e-6
+
+    def handle_request(self, request: Any) -> Any:
+        raise NotImplementedError
+
+    def fail(self) -> None:
+        """Take the node down; in-queue requests are dropped."""
+        self.up = False
+        self.station.drain()
+
+    def recover(self) -> None:
+        self.up = True
+
+
+class Network:
+    """RPC fabric connecting :class:`RemoteNode` objects.
+
+    ``call`` returns a :class:`Process` (hence an event): ``yield`` it from
+    a client process to get the response, or observe the handler's
+    exception — application-level errors such as
+    :class:`~repro.errors.LeaseBackoff` propagate through the RPC exactly
+    like a real client library surfacing a server error code.
+    """
+
+    #: How long a caller waits before concluding a host is unreachable.
+    DEFAULT_UNREACHABLE_DELAY = 0.05
+
+    def __init__(self, sim: Simulator, latency: LatencyModel,
+                 unreachable_delay: Optional[float] = None):
+        self.sim = sim
+        self.latency = latency
+        self.unreachable_delay = (
+            self.DEFAULT_UNREACHABLE_DELAY if unreachable_delay is None
+            else unreachable_delay
+        )
+        self._nodes: Dict[str, RemoteNode] = {}
+        self.messages_sent = 0
+
+    def register(self, node: RemoteNode) -> None:
+        if node.address in self._nodes:
+            raise SimulationError(f"duplicate address {node.address!r}")
+        self._nodes[node.address] = node
+
+    def node(self, address: str) -> RemoteNode:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise HostUnreachable(address, f"unknown address {address!r}") from None
+
+    def call(self, address: str, request: Any, timeout: Optional[float] = None):
+        """Issue an RPC; returns an event yielding the response.
+
+        Implemented as a callback state machine (not a process) because
+        RPCs dominate the kernel's event traffic.
+        """
+        done = self.sim.event()
+        self.messages_sent += 1
+        self.sim.schedule(self.latency.sample(), self._arrive,
+                          address, request, done)
+        if timeout is None:
+            return done
+        return self.sim.process(self._with_timeout(done, timeout),
+                                name=f"rpc-timeout:{address}")
+
+    def _with_timeout(self, work, timeout: float):
+        deadline = self.sim.timeout(timeout)
+        index, value = yield self.sim.any_of([work, deadline])
+        if index == 1:
+            raise RequestTimeout(f"rpc exceeded {timeout}s")
+        return value
+
+    def _arrive(self, address: str, request: Any, done: Event) -> None:
+        node = self._nodes.get(address)
+        if node is None or not node.up:
+            # The caller's RPC times out against a dead host.
+            self.sim.schedule(self.unreachable_delay, self._settle,
+                              done, None, HostUnreachable(address))
+            return
+        served = node.station.submit(node.service_time(request))
+        served.add_callback(lambda event: self._serve(node, request, done, event))
+
+    def _serve(self, node: RemoteNode, request: Any, done: Event,
+               served: Event) -> None:
+        if not served.ok or not node.up:
+            # The node died while our request was queued or in service.
+            self.sim.schedule(self.unreachable_delay, self._settle,
+                              done, None, HostUnreachable(node.address))
+            return
+        try:
+            result = node.handle_request(request)
+        except BaseException as exc:  # noqa: BLE001 - app errors travel back
+            self.sim.schedule(self.latency.sample(), self._settle,
+                              done, None, exc)
+            return
+        if hasattr(result, "send"):
+            # Generator handler: it consumes further simulated time.
+            handler = self.sim.process(result, name=f"handler:{node.address}")
+            handler.add_callback(
+                lambda event: self._settle_from_handler(done, event))
+            return
+        self.sim.schedule(self.latency.sample(), self._settle,
+                          done, result, None)
+
+    def _settle_from_handler(self, done: Event, handler: Event) -> None:
+        if handler.ok:
+            self.sim.schedule(self.latency.sample(), self._settle,
+                              done, handler.value, None)
+        else:
+            self.sim.schedule(self.latency.sample(), self._settle,
+                              done, None, handler._exception)
+
+    @staticmethod
+    def _settle(done: Event, value: Any, exc: Optional[BaseException]) -> None:
+        if done.triggered:
+            return
+        if exc is not None:
+            done.fail(exc)
+        else:
+            done.succeed(value)

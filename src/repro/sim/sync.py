@@ -1,0 +1,70 @@
+"""Synchronization primitives for simulation processes.
+
+The coordinator serializes configuration transitions (a failure landing
+while a recovery transition is mid-RPC must wait), and open-loop workload
+replay bounds its in-flight sessions. Both need classic async primitives,
+implemented here against the DES kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Mutex", "Semaphore"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup.
+
+    Usage inside a process::
+
+        yield semaphore.acquire()
+        try:
+            ...
+        finally:
+            semaphore.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("semaphore capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Returns an event that succeeds once a slot is held."""
+        event = self.sim.event()
+        if self._available > 0:
+            self._available -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            if self._available >= self.capacity:
+                raise SimulationError("semaphore released more than acquired")
+            self._available += 1
+
+
+class Mutex(Semaphore):
+    """A binary semaphore."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)

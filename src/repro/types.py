@@ -1,0 +1,59 @@
+"""Core value types shared across the library.
+
+Keys are plain strings. A :class:`Value` is what the data store returns
+and what cache entries hold: an opaque payload stand-in carrying the
+monotonically increasing *version* of the key (used by the consistency
+oracle to detect stale reads) and its *size* in bytes (used by the cache's
+memory accounting). We never materialize real payload bytes — the paper's
+results depend on sizes and versions, not on content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Value", "FragmentMode", "CACHE_MISS"]
+
+
+@dataclass(frozen=True)
+class Value:
+    """An opaque cached value: ``version`` of the write that produced it
+    plus its ``size`` in bytes."""
+
+    version: int
+    size: int = 0
+
+    def __post_init__(self):
+        if self.version < 0:
+            raise ValueError("version must be non-negative")
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+
+
+class FragmentMode(str, Enum):
+    """Life of a fragment (Figure 4 of the paper)."""
+
+    NORMAL = "normal"
+    TRANSIENT = "transient"
+    RECOVERY = "recovery"
+
+
+class _CacheMiss:
+    """Singleton sentinel distinguishing 'missing' from a stored None."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "CACHE_MISS"
+
+    def __bool__(self):
+        return False
+
+
+CACHE_MISS = _CacheMiss()

@@ -1,0 +1,5 @@
+"""Consistency verification (the paper's Polygraph)."""
+
+from repro.verify.oracle import ConsistencyOracle, ReadRecord
+
+__all__ = ["ConsistencyOracle", "ReadRecord"]

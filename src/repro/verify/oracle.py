@@ -1,0 +1,140 @@
+"""Read-after-write consistency oracle (the paper verified with Polygraph).
+
+The oracle watches two streams:
+
+* **Confirmed writes** reported by clients at write-*session* completion:
+  ``(key, version, completion_time)``. Read-after-write consistency is
+  defined against the moment the application's write is confirmed (the
+  session releases its Q lease after deleting the cache entry), not the
+  instant the data-store transaction commits — a read overlapping an
+  in-flight write may legitimately return either side.
+* **Reads** reported by clients: the value's version plus the read's
+  start and finish times.
+
+A read violates read-after-write consistency iff the version it returned
+is older than the newest write *confirmed before the read started*
+(Section 1). Because two concurrent writers' sessions can complete out
+of version order, the oracle tracks the running maximum version.
+
+The oracle also bins violations per second, which is exactly the series
+plotted in Figure 1.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConsistencyViolation
+
+__all__ = ["ConsistencyOracle", "ReadRecord"]
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One stale read, kept for diagnostics."""
+
+    key: str
+    returned_version: int
+    expected_version: int
+    start_time: float
+    finish_time: float
+
+
+class ConsistencyOracle:
+    """Online read-after-write checker.
+
+    ``strict=True`` raises :class:`ConsistencyViolation` on the first
+    stale read (used by Gemini correctness tests, which demand zero);
+    the default merely counts and records (used to *measure* StaleCache).
+    """
+
+    def __init__(self, strict: bool = False, bucket_width: float = 1.0,
+                 max_recorded: int = 10_000):
+        self.strict = strict
+        self.bucket_width = bucket_width
+        self.max_recorded = max_recorded
+        self._commit_times: Dict[str, List[float]] = {}
+        self._commit_versions: Dict[str, List[int]] = {}
+        self.reads_checked = 0
+        self.stale_reads = 0
+        self.violations: List[ReadRecord] = []
+        self._per_bucket: Dict[int, int] = {}
+        self._reads_per_bucket: Dict[int, int] = {}
+
+    # -- ingestion ---------------------------------------------------------
+    def record_commit(self, key: str, version: int, commit_time: float) -> None:
+        """A write session for ``key`` producing ``version`` was confirmed
+        at ``commit_time``. Times must be non-decreasing per key (they are
+        call-ordered in the simulation); versions need not be."""
+        times = self._commit_times.setdefault(key, [])
+        versions = self._commit_versions.setdefault(key, [])
+        times.append(commit_time)
+        # Running maximum: the strongest guarantee confirmed so far.
+        if versions and versions[-1] > version:
+            version = versions[-1]
+        versions.append(version)
+
+    def record_read(self, key: str, returned_version: int,
+                    start_time: float, finish_time: float) -> bool:
+        """Check one read. Returns True when the read was stale."""
+        self.reads_checked += 1
+        bucket = int(finish_time / self.bucket_width)
+        self._reads_per_bucket[bucket] = self._reads_per_bucket.get(bucket, 0) + 1
+        expected = self._expected_version(key, start_time)
+        if returned_version >= expected:
+            return False
+        self.stale_reads += 1
+        self._per_bucket[bucket] = self._per_bucket.get(bucket, 0) + 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(ReadRecord(
+                key, returned_version, expected, start_time, finish_time))
+        if self.strict:
+            raise ConsistencyViolation(
+                f"stale read of {key!r}: returned v{returned_version}, "
+                f"v{expected} committed before read start t={start_time:.6f}")
+        return True
+
+    def _expected_version(self, key: str, start_time: float) -> int:
+        """Version of the last write committed at or before the read began.
+
+        A record bulk-loaded at version 1 has no commit entry, so the
+        floor here is 0 and the caller's ``>=`` admits the loaded value.
+        """
+        times = self._commit_times.get(key)
+        if not times:
+            return 0
+        index = bisect_right(times, start_time)
+        if index == 0:
+            return 0
+        return self._commit_versions[key][index - 1]
+
+    # -- reporting -----------------------------------------------------------
+    def stale_reads_per_second(self) -> Dict[float, int]:
+        """Bucket start time -> number of stale reads (Figure 1's series)."""
+        return {bucket * self.bucket_width: count
+                for bucket, count in sorted(self._per_bucket.items())}
+
+    def stale_fraction_per_second(self) -> Dict[float, float]:
+        """Bucket start time -> stale reads / total reads in that bucket."""
+        out = {}
+        for bucket, count in sorted(self._per_bucket.items()):
+            total = self._reads_per_bucket.get(bucket, 0)
+            out[bucket * self.bucket_width] = count / total if total else 0.0
+        return out
+
+    def peak_stale_rate(self) -> float:
+        """Highest stale-reads-per-second bucket (0 when clean)."""
+        if not self._per_bucket:
+            return 0.0
+        return max(self._per_bucket.values()) / self.bucket_width
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "reads_checked": self.reads_checked,
+            "stale_reads": self.stale_reads,
+            "stale_fraction": (self.stale_reads / self.reads_checked
+                               if self.reads_checked else 0.0),
+            "peak_stale_per_second": self.peak_stale_rate(),
+        }

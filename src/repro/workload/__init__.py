@@ -1,0 +1,43 @@
+"""Workload generation substrate.
+
+* :mod:`repro.workload.distributions` — zipfian (YCSB-style), uniform,
+  hotspot key-rank distributions.
+* :mod:`repro.workload.keyspace` — rank-to-key mapping with evolving
+  access patterns (the A/B record-set switches of Section 5.4.4).
+* :mod:`repro.workload.ycsb` — YCSB workloads A/B, the update-% sweep,
+  and closed-loop client threads.
+* :mod:`repro.workload.facebook` — the synthetic Facebook-like trace of
+  Section 5.1 (Atikoglu et al. statistical models).
+* :mod:`repro.workload.trace` — trace records and open-loop replay.
+"""
+
+from repro.workload.distributions import (
+    HotspotGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workload.keyspace import KeySpace
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    ClosedLoopThread,
+    YcsbWorkload,
+    WorkloadSpec,
+)
+from repro.workload.facebook import FacebookWorkload
+from repro.workload.trace import TraceRecord, TraceReplayer
+
+__all__ = [
+    "ClosedLoopThread",
+    "FacebookWorkload",
+    "HotspotGenerator",
+    "KeySpace",
+    "TraceRecord",
+    "TraceReplayer",
+    "UniformGenerator",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WorkloadSpec",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+]

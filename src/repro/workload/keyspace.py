@@ -1,0 +1,78 @@
+"""Rank-to-key mapping with evolving access patterns.
+
+Section 5.4.4 splits the 10M-record database into sets A and B of equal
+size; references go only to A before the failure and (partially or fully)
+to B after it. We reproduce that with an explicit rank table: the
+distribution produces a *rank* (0 = hottest) and the key space maps it to
+a record id. Switching the pattern rewrites the table:
+
+* ``switch_full()`` — every rank now maps into set B (100 % change);
+* ``switch_hottest(fraction)`` — the hottest ``fraction`` of ranks swap
+  their A records for the corresponding B records (the paper's 20 %
+  change swaps the most frequently accessed million records).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+
+__all__ = ["KeySpace"]
+
+
+class KeySpace:
+    """Maps distribution ranks to stable record keys."""
+
+    def __init__(self, record_count: int, prefix: str = "user"):
+        if record_count < 2 or record_count % 2 != 0:
+            raise WorkloadError("record_count must be an even number >= 2")
+        self.record_count = record_count
+        self.prefix = prefix
+        self.half = record_count // 2
+        #: rank -> record id; starts as identity into set A = [0, half).
+        self._table: List[int] = list(range(self.half))
+        self.switched_fraction = 0.0
+
+    @property
+    def active_size(self) -> int:
+        """Number of distinct records the workload references."""
+        return self.half
+
+    def key_for_id(self, record_id: int) -> str:
+        if not 0 <= record_id < self.record_count:
+            raise WorkloadError(f"record id {record_id} out of range")
+        return f"{self.prefix}{record_id:010d}"
+
+    def key(self, rank: int) -> str:
+        return self.key_for_id(self._table[rank])
+
+    def all_keys(self) -> List[str]:
+        """Every record key in the database (for data-store population)."""
+        return [self.key_for_id(i) for i in range(self.record_count)]
+
+    def active_keys(self) -> List[str]:
+        """Keys currently reachable through some rank."""
+        return [self.key_for_id(i) for i in self._table]
+
+    def switch_full(self) -> None:
+        """100 % access-pattern change: all ranks now map into set B."""
+        self._table = [self.half + i for i in range(self.half)]
+        self.switched_fraction = 1.0
+
+    def switch_hottest(self, fraction: float) -> None:
+        """Swap the hottest ``fraction`` of ranks from set A to set B."""
+        if not 0 < fraction <= 1:
+            raise WorkloadError("fraction must be in (0, 1]")
+        cut = max(1, int(self.half * fraction))
+        for rank in range(cut):
+            record = self._table[rank]
+            if record < self.half:
+                self._table[rank] = record + self.half
+            else:
+                self._table[rank] = record - self.half
+        self.switched_fraction = fraction
+
+    def reset(self) -> None:
+        self._table = list(range(self.half))
+        self.switched_fraction = 0.0

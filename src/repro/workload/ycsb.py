@@ -1,0 +1,134 @@
+"""YCSB workloads (Cooper et al., SoCC '10) as used in Section 5.2.
+
+* Workload A: 50 % reads / 50 % updates.
+* Workload B: 95 % reads / 5 % updates.
+* The paper also sweeps the update percentage from 1 % to 10 %
+  (``WorkloadSpec.with_update_fraction``).
+
+Records are 1 KB; keys choose a record through a zipfian rank mapped by
+the :class:`~repro.workload.keyspace.KeySpace`. Load is closed-loop: each
+:class:`ClosedLoopThread` (a YCSB client thread) issues its next session
+as soon as the previous one completes — 40 threads is the paper's low
+load, 200 the high load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.sim.core import Simulator
+from repro.workload.distributions import ZipfianGenerator
+from repro.workload.keyspace import KeySpace
+
+__all__ = ["WorkloadSpec", "WORKLOAD_A", "WORKLOAD_B", "YcsbWorkload",
+           "ClosedLoopThread"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a YCSB-style workload."""
+
+    name: str
+    read_fraction: float
+    record_count: int = 20_000
+    record_size: int = 1024
+    zipf_theta: float = 0.99
+
+    def __post_init__(self):
+        if not 0 <= self.read_fraction <= 1:
+            raise WorkloadError("read_fraction must be in [0, 1]")
+        if self.record_count < 2:
+            raise WorkloadError("record_count must be >= 2")
+
+    @property
+    def update_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    def with_update_fraction(self, update_fraction: float) -> "WorkloadSpec":
+        """The paper's 1–10 % update sweep (reads reduced in proportion)."""
+        if not 0 <= update_fraction <= 1:
+            raise WorkloadError("update_fraction must be in [0, 1]")
+        return replace(self, name=f"{self.name}-u{update_fraction:.0%}",
+                       read_fraction=1.0 - update_fraction)
+
+    def with_records(self, record_count: int,
+                     record_size: Optional[int] = None) -> "WorkloadSpec":
+        changes = {"record_count": record_count}
+        if record_size is not None:
+            changes["record_size"] = record_size
+        return replace(self, **changes)
+
+
+WORKLOAD_A = WorkloadSpec(name="ycsb-a", read_fraction=0.50)
+WORKLOAD_B = WorkloadSpec(name="ycsb-b", read_fraction=0.95)
+
+
+class YcsbWorkload:
+    """Draws (op, key) pairs for one workload specification."""
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random,
+                 keyspace: Optional[KeySpace] = None):
+        self.spec = spec
+        self.rng = rng
+        self.keyspace = keyspace if keyspace is not None else KeySpace(
+            spec.record_count)
+        self._zipf = ZipfianGenerator(self.keyspace.active_size,
+                                      theta=spec.zipf_theta, rng=rng)
+
+    def next_op(self):
+        """Return ("read" | "write", key)."""
+        key = self.keyspace.key(self._zipf.next())
+        if self.rng.random() < self.spec.read_fraction:
+            return ("read", key)
+        return ("write", key)
+
+    def populate(self, datastore) -> None:
+        """Load every record into the data store at version 1."""
+        datastore.populate(self.keyspace.all_keys(),
+                           size_of=lambda __: self.spec.record_size)
+
+
+class ClosedLoopThread:
+    """One YCSB client thread: issue, wait, repeat.
+
+    ``stop`` is an optional predicate; the thread exits once it returns
+    True (the experiment harness passes a deadline check).
+    """
+
+    def __init__(self, sim: Simulator, client, workload: YcsbWorkload,
+                 name: str = "ycsb-thread", stop=None,
+                 max_ops: Optional[int] = None):
+        self.sim = sim
+        self.client = client
+        self.workload = workload
+        self.name = name
+        self.stop = stop
+        self.max_ops = max_ops
+        self.ops_issued = 0
+        self.errors = 0
+        self._process = None
+
+    def start(self):
+        self._process = self.sim.process(self._run(), name=self.name)
+        return self._process
+
+    def _run(self):
+        spec = self.workload.spec
+        while True:
+            if self.stop is not None and self.stop():
+                return self.ops_issued
+            if self.max_ops is not None and self.ops_issued >= self.max_ops:
+                return self.ops_issued
+            op, key = self.workload.next_op()
+            try:
+                if op == "read":
+                    yield from self.client.read(key)
+                else:
+                    yield from self.client.write(key, size=spec.record_size)
+            except Exception:  # noqa: BLE001 - a failed session must not
+                self.errors += 1  # kill the whole load thread
+                yield 0.001
+            self.ops_issued += 1

@@ -1,0 +1,74 @@
+"""Unit tests for dirty lists and the eviction-detection marker."""
+
+from repro.cache.dirtylist import DIRTY_LIST_PREFIX, DirtyList, dirty_list_key
+
+
+class TestDirtyListKey:
+    def test_key_format(self):
+        assert dirty_list_key(7) == f"{DIRTY_LIST_PREFIX}7"
+
+    def test_distinct_fragments_distinct_keys(self):
+        assert dirty_list_key(1) != dirty_list_key(2)
+
+
+class TestDirtyList:
+    def test_marker_set_by_coordinator_initialization(self):
+        dirty = DirtyList(0, marker=True)
+        assert dirty.complete
+
+    def test_recreated_list_is_partial(self):
+        """A client append after eviction recreates the list without the
+        marker — the protocol must detect it as partial (Section 3.1)."""
+        dirty = DirtyList(0, marker=False)
+        dirty.append("k1")
+        assert not dirty.complete
+
+    def test_append_and_membership(self):
+        dirty = DirtyList(0, marker=True)
+        dirty.append("a")
+        dirty.append("b")
+        assert "a" in dirty and "b" in dirty and "c" not in dirty
+
+    def test_append_deduplicates(self):
+        dirty = DirtyList(0, marker=True)
+        dirty.append("a")
+        dirty.append("a")
+        assert len(dirty) == 1
+
+    def test_insertion_order_preserved(self):
+        dirty = DirtyList(0, marker=True)
+        for key in ("z", "a", "m"):
+            dirty.append(key)
+        assert dirty.keys() == ["z", "a", "m"]
+
+    def test_discard(self):
+        dirty = DirtyList(0, marker=True)
+        dirty.append("a")
+        assert dirty.discard("a")
+        assert not dirty.discard("a")
+        assert len(dirty) == 0
+
+    def test_size_grows_and_shrinks(self):
+        dirty = DirtyList(0, marker=True)
+        empty_size = dirty.size
+        dirty.append("some-key")
+        assert dirty.size > empty_size
+        dirty.discard("some-key")
+        assert dirty.size == empty_size
+
+    def test_size_accounts_for_key_length(self):
+        short = DirtyList(0, marker=True)
+        short.append("k")
+        long = DirtyList(0, marker=True)
+        long.append("k" * 100)
+        assert long.size > short.size
+
+    def test_iteration(self):
+        dirty = DirtyList(0, marker=True)
+        for key in ("a", "b"):
+            dirty.append(key)
+        assert list(dirty) == ["a", "b"]
+
+    def test_repr_flags_partial(self):
+        assert "PARTIAL" in repr(DirtyList(3, marker=False))
+        assert "complete" in repr(DirtyList(3, marker=True))

@@ -1,0 +1,32 @@
+"""Unit tests for cache entries and Rejig validity tags."""
+
+from repro.cache.entry import ENTRY_OVERHEAD_BYTES, CacheEntry
+from repro.types import Value
+
+
+def make_entry(config_id=5, key="k", value_size=100):
+    return CacheEntry(key=key, value=Value(1, value_size),
+                      config_id=config_id, key_size=len(key),
+                      value_size=value_size)
+
+
+class TestValidity:
+    def test_equal_config_id_is_valid(self):
+        assert make_entry(config_id=5).is_valid_for(5)
+
+    def test_newer_entry_is_valid(self):
+        assert make_entry(config_id=9).is_valid_for(5)
+
+    def test_older_entry_is_invalid(self):
+        """Example 3.1: entries tagged below the fragment floor die."""
+        assert not make_entry(config_id=4).is_valid_for(5)
+
+
+class TestSize:
+    def test_size_includes_overhead(self):
+        entry = make_entry(key="abc", value_size=10)
+        assert entry.size == ENTRY_OVERHEAD_BYTES + 3 + 10
+
+    def test_zero_sizes(self):
+        entry = CacheEntry(key="", value=None, config_id=1)
+        assert entry.size == ENTRY_OVERHEAD_BYTES

@@ -1,0 +1,185 @@
+"""Unit tests for IQ leases and Redlease — including the full Table 2
+compatibility matrix of the paper."""
+
+import pytest
+
+from repro.cache.leases import LeaseKind, LeaseTable, Redlease
+from repro.errors import LeaseBackoff
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, delta):
+        self.now += delta
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(clock, iq_lifetime=0.010)
+
+
+class TestTable2Compatibility:
+    """The compatibility matrix, row by row."""
+
+    def test_i_requested_while_i_held_backs_off(self, table):
+        table.acquire_i("k")
+        with pytest.raises(LeaseBackoff):
+            table.acquire_i("k")
+
+    def test_i_requested_while_q_held_backs_off(self, table):
+        table.acquire_q("k")
+        with pytest.raises(LeaseBackoff):
+            table.acquire_i("k")
+
+    def test_q_requested_while_i_held_voids_i_and_grants(self, table):
+        i_lease = table.acquire_i("k")
+        q_lease = table.acquire_q("k")
+        assert q_lease.kind is LeaseKind.Q
+        assert i_lease.voided
+        assert not table.check_i("k", i_lease.token)
+
+    def test_q_requested_while_q_held_grants(self, table):
+        first = table.acquire_q("k")
+        second = table.acquire_q("k")
+        assert first.token != second.token
+        assert table.q_outstanding("k", first.token)
+        assert table.q_outstanding("k", second.token)
+
+
+class TestILease:
+    def test_grant_and_check(self, table):
+        lease = table.acquire_i("k")
+        assert table.check_i("k", lease.token)
+
+    def test_release(self, table):
+        lease = table.acquire_i("k")
+        assert table.release_i("k", lease.token)
+        assert not table.check_i("k", lease.token)
+
+    def test_release_wrong_token_rejected(self, table):
+        table.acquire_i("k")
+        assert not table.release_i("k", 999_999)
+
+    def test_expiry_frees_the_key(self, table, clock):
+        lease = table.acquire_i("k")
+        clock.advance(0.011)
+        assert not table.check_i("k", lease.token)
+        # A new I lease can now be granted (no back off).
+        table.acquire_i("k")
+
+    def test_distinct_keys_do_not_conflict(self, table):
+        table.acquire_i("k1")
+        table.acquire_i("k2")  # must not raise
+
+    def test_voided_lease_fails_check_before_expiry(self, table, clock):
+        lease = table.acquire_i("k")
+        table.acquire_q("k")
+        clock.advance(0.001)  # well within lifetime
+        assert not table.check_i("k", lease.token)
+
+
+class TestQLease:
+    def test_release(self, table):
+        lease = table.acquire_q("k")
+        assert table.release_q("k", lease.token)
+        assert not table.q_outstanding("k", lease.token)
+
+    def test_expired_q_not_outstanding_after_gc(self, table, clock):
+        lease = table.acquire_q("k")
+        clock.advance(0.011)
+        table._gc("k")
+        assert not table.q_outstanding("k", lease.token)
+
+    def test_expired_q_unblocks_i(self, table, clock):
+        table.acquire_q("k")
+        clock.advance(0.011)
+        table.acquire_i("k")  # must not raise
+
+    def test_multiple_q_release_independently(self, table):
+        q1 = table.acquire_q("k")
+        q2 = table.acquire_q("k")
+        table.release_q("k", q1.token)
+        assert table.q_outstanding("k", q2.token)
+
+    def test_i_after_all_q_released(self, table):
+        lease = table.acquire_q("k")
+        table.release_q("k", lease.token)
+        table.acquire_i("k")  # must not raise
+
+
+class TestCounters:
+    def test_grant_void_backoff_counts(self, table):
+        table.acquire_i("a")
+        table.acquire_q("a")  # voids the I
+        with pytest.raises(LeaseBackoff):
+            table.acquire_i("a")
+        assert table.granted_i == 1
+        assert table.granted_q == 1
+        assert table.voids == 1
+        assert table.backoffs == 1
+
+
+class TestClear:
+    def test_clear_drops_everything(self, table):
+        table.acquire_i("a")
+        table.acquire_q("b")
+        table.clear()
+        table.acquire_i("a")
+        table.acquire_i("b")  # no conflicts survive a crash
+
+
+class TestRedlease:
+    def test_mutual_exclusion(self, clock):
+        red = Redlease(clock, lifetime=1.0)
+        red.acquire("list-1")
+        with pytest.raises(LeaseBackoff):
+            red.acquire("list-1")
+
+    def test_distinct_resources_independent(self, clock):
+        red = Redlease(clock, lifetime=1.0)
+        red.acquire("list-1")
+        red.acquire("list-2")  # must not raise
+
+    def test_release_then_reacquire(self, clock):
+        red = Redlease(clock, lifetime=1.0)
+        lease = red.acquire("list-1")
+        assert red.release("list-1", lease.token)
+        red.acquire("list-1")
+
+    def test_expiry_allows_takeover(self, clock):
+        """A crashed worker's Redlease expires; another takes over (3.3)."""
+        red = Redlease(clock, lifetime=1.0)
+        red.acquire("list-1")
+        clock.advance(1.5)
+        red.acquire("list-1")  # must not raise
+
+    def test_release_with_wrong_token_rejected(self, clock):
+        red = Redlease(clock, lifetime=1.0)
+        red.acquire("list-1")
+        assert not red.release("list-1", 424242)
+
+    def test_holder_reports_live_lease_only(self, clock):
+        red = Redlease(clock, lifetime=1.0)
+        lease = red.acquire("list-1")
+        assert red.holder("list-1").token == lease.token
+        clock.advance(2.0)
+        assert red.holder("list-1") is None
+
+    def test_never_collides_with_iq(self, clock):
+        """Redlease and IQ leases live in separate namespaces: acquiring
+        one never affects the other, even for the same name."""
+        table = LeaseTable(clock)
+        red = Redlease(clock)
+        table.acquire_i("x")
+        red.acquire("x")  # must not raise
+        table.acquire_q("x")  # must not raise either

@@ -1,0 +1,121 @@
+"""Unit tests for the Section 7 replication extension."""
+
+import random
+
+import pytest
+
+from repro.cache.instance import CacheInstance
+from repro.cache.replication import MirroredReplicaGroup, SyncStrategy
+from repro.sim.core import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.types import CACHE_MISS, Value
+
+
+def make_group(sim, strategy, memory=100_000, slave_memory=None):
+    network = Network(sim, LatencyModel(random.Random(1), base=5e-5,
+                                        jitter=0.0))
+    master = CacheInstance(sim, "master", memory_bytes=memory)
+    slaves = [CacheInstance(sim, f"slave-{i}",
+                            memory_bytes=slave_memory or memory)
+              for i in range(2)]
+    network.register(master)
+    for slave in slaves:
+        network.register(slave)
+    group = MirroredReplicaGroup(sim, network, master, slaves,
+                                 strategy=strategy)
+    return group
+
+
+def drive(sim, generator):
+    process = sim.process(generator)
+    return sim.run_until(process, limit=sim.now + 60.0)
+
+
+class TestMirroredWrites:
+    @pytest.mark.parametrize("strategy", list(SyncStrategy))
+    def test_set_replicates_to_all(self, sim, strategy):
+        group = make_group(sim, strategy)
+        drive(sim, group.set("k", Value(1, 10)))
+        assert group.master.peek("k").version == 1
+        for slave in group.slaves:
+            assert slave.peek("k").version == 1
+
+    @pytest.mark.parametrize("strategy", list(SyncStrategy))
+    def test_delete_removes_everywhere(self, sim, strategy):
+        group = make_group(sim, strategy)
+        drive(sim, group.set("k", Value(1, 10)))
+        drive(sim, group.delete("k"))
+        assert group.master.peek("k") is CACHE_MISS
+        for slave in group.slaves:
+            assert slave.peek("k") is CACHE_MISS
+
+    def test_get_reads_master(self, sim):
+        group = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS)
+        drive(sim, group.set("k", Value(3, 10)))
+        assert drive(sim, group.get("k")).version == 3
+
+
+class TestEvictionSync:
+    def fill_past_budget(self, sim, group, n=30):
+        for index in range(n):
+            drive(sim, group.set(f"key-{index:04d}", Value(1, 100)))
+        sim.run(until=sim.now + 1.0)  # let eviction broadcasts land
+
+    def test_broadcast_keeps_replicas_identical(self, sim):
+        group = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS,
+                           memory=2000)
+        self.fill_past_budget(sim, group)
+        assert group.master.stats.evictions > 0
+        assert group.divergence() == pytest.approx(0.0)
+
+    def test_forward_keeps_replicas_identical(self, sim):
+        group = make_group(sim, SyncStrategy.FORWARD_REQUESTS, memory=2000)
+        self.fill_past_budget(sim, group)
+        assert group.divergence() == pytest.approx(0.0)
+
+    def test_forward_mirrors_recency(self, sim):
+        """Under FORWARD, a get refreshes LRU position on slaves too, so
+        replicas agree on the victim; the touched key survives."""
+        group = make_group(sim, SyncStrategy.FORWARD_REQUESTS, memory=600)
+        drive(sim, group.set("a", Value(1, 100)))
+        drive(sim, group.set("b", Value(1, 100)))
+        drive(sim, group.get("a"))  # refresh a everywhere
+        drive(sim, group.set("c", Value(1, 100)))
+        drive(sim, group.set("d", Value(1, 100)))
+        sim.run(until=sim.now + 1.0)
+        for node in (group.master, *group.slaves):
+            assert node.contains("a")
+            assert not node.contains("b")
+
+    def test_broadcast_cheaper_in_messages(self, sim):
+        broadcast = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS,
+                               memory=100_000)
+        forward = make_group(sim, SyncStrategy.FORWARD_REQUESTS,
+                             memory=100_000)
+        for group in (broadcast, forward):
+            for index in range(10):
+                drive(sim, group.set(f"k{index}", Value(1, 10)))
+            for index in range(10):
+                drive(sim, group.get(f"k{index}"))
+        # Without evictions, broadcast mirrors only the inserts while
+        # forward also mirrors every read.
+        assert broadcast.mirror_messages < forward.mirror_messages
+
+
+class TestDivergenceMetric:
+    def test_empty_group_has_zero_divergence(self, sim):
+        group = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS)
+        assert group.divergence() == 0.0
+
+    def test_manual_divergence_detected(self, sim):
+        group = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS)
+        drive(sim, group.set("k", Value(1, 10)))
+        group.slaves[0]._remove("k")
+        assert group.divergence() > 0.0
+
+    def test_replica_sizes(self, sim):
+        group = make_group(sim, SyncStrategy.BROADCAST_EVICTIONS)
+        drive(sim, group.set("k", Value(1, 10)))
+        sizes = group.replica_sizes()
+        assert sizes["master"] == 1
+        assert sizes["slave-0"] == 1

@@ -1,0 +1,41 @@
+"""Unit tests for the client configuration cache."""
+
+import pytest
+
+from repro.client.routing import ConfigCache
+from repro.config.configuration import Configuration
+from repro.errors import FragmentUnavailable
+
+
+class TestConfigCache:
+    def test_empty_cache_not_ready(self):
+        cache = ConfigCache()
+        assert not cache.ready
+        with pytest.raises(FragmentUnavailable):
+            __ = cache.config
+
+    def test_adopt_newer(self):
+        cache = ConfigCache()
+        assert cache.adopt(Configuration.initial(["a"], 2, config_id=1))
+        assert cache.config_id == 1
+
+    def test_adopt_rejects_older_or_equal(self):
+        cache = ConfigCache(Configuration.initial(["a"], 2, config_id=5))
+        assert not cache.adopt(Configuration.initial(["a"], 2, config_id=5))
+        assert not cache.adopt(Configuration.initial(["a"], 2, config_id=4))
+        assert cache.config_id == 5
+
+    def test_adopt_none_is_noop(self):
+        cache = ConfigCache()
+        assert not cache.adopt(None)
+
+    def test_route_uses_config(self):
+        cache = ConfigCache(Configuration.initial(["a", "b"], 4))
+        fragment = cache.route("some-key")
+        assert fragment.primary in ("a", "b")
+
+    def test_update_counter(self):
+        cache = ConfigCache()
+        cache.adopt(Configuration.initial(["a"], 2, config_id=1))
+        cache.adopt(Configuration.initial(["a"], 2, config_id=2))
+        assert cache.updates == 2

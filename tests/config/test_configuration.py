@@ -1,0 +1,107 @@
+"""Unit tests for Configuration / FragmentInfo."""
+
+import pytest
+
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.errors import CoordinatorError, FragmentUnavailable
+from repro.types import FragmentMode
+
+
+def frag(fid, primary="i0", secondary=None, mode=FragmentMode.NORMAL,
+         cfg_id=1, wst=False):
+    return FragmentInfo(fragment_id=fid, primary=primary,
+                        secondary=secondary, mode=mode, cfg_id=cfg_id,
+                        wst_active=wst)
+
+
+class TestInitial:
+    def test_round_robin_assignment(self):
+        config = Configuration.initial(["a", "b"], 4)
+        assert [f.primary for f in config.fragments] == ["a", "b", "a", "b"]
+
+    def test_all_normal_mode(self):
+        config = Configuration.initial(["a"], 3)
+        assert all(f.mode is FragmentMode.NORMAL for f in config.fragments)
+
+    def test_needs_instances(self):
+        with pytest.raises(CoordinatorError):
+            Configuration.initial([], 3)
+
+
+class TestRouting:
+    def test_fragment_for_key_stable(self):
+        config = Configuration.initial(["a", "b"], 8)
+        assert (config.fragment_for_key("k1").fragment_id
+                == config.fragment_for_key("k1").fragment_id)
+
+    def test_fragment_lookup_by_id(self):
+        config = Configuration.initial(["a"], 3)
+        assert config.fragment(2).fragment_id == 2
+
+    def test_fragments_with_primary(self):
+        config = Configuration.initial(["a", "b"], 4)
+        assert len(config.fragments_with_primary("a")) == 2
+
+
+class TestEvolve:
+    def test_evolve_replaces_only_updates(self):
+        config = Configuration.initial(["a", "b"], 4)
+        updated = config.fragment(1).replace(mode=FragmentMode.TRANSIENT,
+                                             secondary="a", cfg_id=2)
+        evolved = config.evolve(2, {1: updated})
+        assert evolved.fragment(1).mode is FragmentMode.TRANSIENT
+        assert evolved.fragment(0).mode is FragmentMode.NORMAL
+        assert evolved.config_id == 2
+
+    def test_original_unchanged(self):
+        config = Configuration.initial(["a"], 2)
+        config.evolve(5, {})
+        assert config.config_id == 1
+
+    def test_ids_must_increase(self):
+        config = Configuration.initial(["a"], 2, config_id=5)
+        with pytest.raises(CoordinatorError):
+            config.evolve(5, {})
+
+    def test_mismatched_update_rejected(self):
+        config = Configuration.initial(["a"], 2)
+        with pytest.raises(CoordinatorError):
+            config.evolve(2, {0: frag(1)})
+
+
+class TestFragmentInfo:
+    def test_serving_replica_normal_is_primary(self):
+        assert frag(0).serving_replica() == "i0"
+
+    def test_serving_replica_transient_is_secondary(self):
+        info = frag(0, secondary="i1", mode=FragmentMode.TRANSIENT)
+        assert info.serving_replica() == "i1"
+
+    def test_serving_replica_recovery_is_primary(self):
+        info = frag(0, secondary="i1", mode=FragmentMode.RECOVERY)
+        assert info.serving_replica() == "i0"
+
+    def test_transient_without_secondary_unavailable(self):
+        info = frag(0, mode=FragmentMode.TRANSIENT)
+        with pytest.raises(FragmentUnavailable):
+            info.serving_replica()
+
+    def test_replace_produces_new_object(self):
+        info = frag(0)
+        other = info.replace(cfg_id=9)
+        assert other.cfg_id == 9 and info.cfg_id == 1
+
+
+class TestMisc:
+    def test_approximate_size_scales_with_fragments(self):
+        small = Configuration.initial(["a"], 2)
+        large = Configuration.initial(["a"], 200)
+        assert large.approximate_size() > small.approximate_size()
+
+    def test_repr_mentions_modes(self):
+        config = Configuration.initial(["a"], 2)
+        assert "normal" in repr(config)
+
+    def test_fragment_ids_must_match_index(self):
+        with pytest.raises(CoordinatorError):
+            Configuration(1, [frag(1)])

@@ -1,0 +1,35 @@
+"""Unit tests for the stable routing hash."""
+
+import pytest
+
+from repro.config.hashing import fragment_for_key, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_known_value_stable_across_processes(self):
+        # CRC32 of "user0000000001" — pins cross-process stability.
+        import zlib
+        assert stable_hash("user0000000001") == zlib.crc32(b"user0000000001")
+
+    def test_distinct_keys_usually_differ(self):
+        hashes = {stable_hash(f"key-{i}") for i in range(1000)}
+        assert len(hashes) > 990
+
+
+class TestFragmentForKey:
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= fragment_for_key(f"k{i}", 7) < 7
+
+    def test_roughly_uniform(self):
+        counts = [0] * 10
+        for i in range(10_000):
+            counts[fragment_for_key(f"user{i:010d}", 10)] += 1
+        assert min(counts) > 700  # no pathological skew
+
+    def test_zero_fragments_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_for_key("k", 0)

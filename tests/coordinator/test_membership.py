@@ -1,0 +1,51 @@
+"""Unit tests for the heartbeat failure detector (real crashes)."""
+
+from repro.coordinator.membership import HeartbeatMonitor
+from repro.types import FragmentMode
+from tests.conftest import build_cluster
+
+
+def make_monitored_cluster():
+    cluster = build_cluster(heartbeat=True)
+    cluster.start()
+    return cluster
+
+
+class TestDetection:
+    def test_real_crash_detected_and_fragments_move(self):
+        cluster = make_monitored_cluster()
+        cluster.sim.run(until=1.0)
+        cluster.instances["cache-0"].fail()  # real crash, no emulation
+        cluster.sim.run(until=5.0)
+        fragments = cluster.coordinator.current.fragments_with_primary(
+            "cache-0")
+        assert all(f.mode is FragmentMode.TRANSIENT for f in fragments)
+
+    def test_recovery_detected(self):
+        cluster = make_monitored_cluster()
+        cluster.sim.run(until=1.0)
+        instance = cluster.instances["cache-0"]
+        instance.fail()
+        cluster.sim.run(until=5.0)
+        instance.recover()
+        cluster.sim.run(until=10.0)
+        assert cluster.coordinator.is_alive("cache-0")
+
+    def test_single_missed_heartbeat_not_enough(self):
+        cluster = build_cluster()
+        monitor = HeartbeatMonitor(
+            cluster.sim, cluster.network, cluster.coordinator,
+            cluster.instance_addresses, interval=0.5, misses_to_fail=3)
+        monitor.start()
+        instance = cluster.instances["cache-0"]
+        # Down for less than one interval: at most one missed beat.
+        cluster.sim.schedule(0.9, instance.fail)
+        cluster.sim.schedule(1.3, instance.recover)
+        cluster.sim.run(until=3.0)
+        assert cluster.coordinator.is_alive("cache-0")
+
+    def test_healthy_cluster_never_flagged(self):
+        cluster = make_monitored_cluster()
+        cluster.sim.run(until=10.0)
+        assert len(cluster.coordinator.alive_instances()) == 3
+        assert cluster.coordinator.current.config_id == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the versioned data store."""
+
+import pytest
+
+from repro.datastore.store import DataStore, DataStoreOp
+from repro.errors import CacheError
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def store(sim):
+    return DataStore(sim, read_service_time=1e-3, write_service_time=2e-3,
+                     servers=2)
+
+
+def call(store, op, key, size=None):
+    return store.handle_request(DataStoreOp(op=op, key=key, size=size))
+
+
+class TestVersions:
+    def test_unknown_key_reads_version_zero(self, store):
+        assert call(store, "read", "ghost").version == 0
+
+    def test_populate_sets_version_one(self, store):
+        store.populate(["a", "b"])
+        assert call(store, "read", "a").version == 1
+        assert len(store) == 2
+
+    def test_writes_increment_version(self, store):
+        store.populate(["a"])
+        assert call(store, "write", "a").version == 2
+        assert call(store, "write", "a").version == 3
+        assert call(store, "read", "a").version == 3
+
+    def test_write_creates_record(self, store):
+        assert call(store, "write", "new").version == 1
+
+    def test_version_accessor(self, store):
+        store.populate(["a"])
+        assert store.version("a") == 1
+        assert store.version("missing") == 0
+
+
+class TestSizes:
+    def test_default_record_size(self, store):
+        assert call(store, "read", "a").size == store.default_record_size
+
+    def test_populate_with_size_function(self, store):
+        store.populate(["a", "bb"], size_of=lambda k: len(k) * 100)
+        assert store.record_size("a") == 100
+        assert store.record_size("bb") == 200
+
+    def test_write_records_size(self, store):
+        call(store, "write", "a", size=777)
+        assert call(store, "read", "a").size == 777
+
+
+class TestCommitListeners:
+    def test_listener_sees_commits(self, store, sim):
+        commits = []
+        store.subscribe_commits(lambda k, v, t: commits.append((k, v)))
+        call(store, "write", "a")
+        call(store, "write", "a")
+        assert commits == [("a", 1), ("a", 2)]
+
+    def test_populate_does_not_notify(self, store):
+        commits = []
+        store.subscribe_commits(lambda k, v, t: commits.append(k))
+        store.populate(["a"])
+        assert commits == []
+
+
+class TestServiceModel:
+    def test_write_slower_than_read(self, store):
+        read_op = DataStoreOp(op="read", key="a")
+        write_op = DataStoreOp(op="write", key="a")
+        assert store.service_time(write_op) > store.service_time(read_op)
+
+    def test_unknown_op_rejected(self, store):
+        with pytest.raises(CacheError):
+            call(store, "scan", "a")
+
+    def test_counters(self, store):
+        call(store, "read", "a")
+        call(store, "write", "a")
+        assert store.reads == 1 and store.writes == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.sim.failures import FailureSchedule
+from tests.conftest import build_loaded_experiment
+
+
+class TestRun:
+    def test_runs_to_duration_and_collects_series(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=10.0, threads=2, records=200)
+        result = experiment.run()
+        assert cluster.sim.now == pytest.approx(10.0)
+        assert result.recorder.ops() > 100
+        for address in cluster.instance_addresses:
+            assert len(result.instance_hit_series[address]) >= 9
+
+    def test_failure_and_recovery_timestamps(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=20.0, threads=2, records=200,
+            failures=[FailureSchedule(at=5.0, duration=5.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        assert result.recovered_at["cache-0"] == pytest.approx(10.0)
+        assert result.recovery_time("cache-0") is not None
+        assert result.recovery_time("cache-0") < 10.0
+
+    def test_hit_ratio_before_failure_high(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=20.0, threads=2, records=200,
+            failures=[FailureSchedule(at=10.0, duration=5.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        assert result.hit_ratio_before("cache-0", 10.0) > 0.5
+
+    def test_time_to_restore_hit_ratio(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=30.0, threads=2, records=200,
+            failures=[FailureSchedule(at=5.0, duration=5.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        restore = result.time_to_restore_hit_ratio("cache-0", 0.5)
+        assert restore is not None and restore < 20.0
+
+    def test_unknown_instance_measurements_are_none(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=5.0, threads=1, records=100)
+        result = experiment.run()
+        assert result.recovery_time("cache-7") is None
+        assert result.time_to_restore_hit_ratio("cache-7", 0.5) is None
+
+    def test_series_accessors(self):
+        cluster, __, experiment = build_loaded_experiment(
+            duration=8.0, threads=2, records=200)
+        result = experiment.run()
+        assert result.cluster_hit_ratio_series()
+        assert result.throughput_series()
+        assert result.p90_read_latency_series()
+        assert result.stale_reads_per_second() == {}

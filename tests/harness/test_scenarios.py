@@ -1,0 +1,96 @@
+"""Unit tests for the canned experiment scenarios."""
+
+import pytest
+
+from repro.harness.scenarios import (
+    HIGH_LOAD_THREADS,
+    LOW_LOAD_THREADS,
+    YcsbScenario,
+    build_facebook_experiment,
+    build_ycsb_experiment,
+    pre_failure_threshold,
+)
+from repro.recovery.policies import GEMINI_O, GEMINI_O_W
+
+
+class TestYcsbScenario:
+    def small(self, **kw):
+        kw.setdefault("policy", GEMINI_O)
+        kw.setdefault("records", 400)
+        kw.setdefault("threads", 2)
+        kw.setdefault("fail_at", 3.0)
+        kw.setdefault("outage", 3.0)
+        kw.setdefault("tail", 6.0)
+        return YcsbScenario(**kw)
+
+    def test_duration_derived(self):
+        scenario = self.small()
+        assert scenario.duration == 12.0
+
+    def test_builder_wires_everything(self):
+        cluster, workload, experiment = build_ycsb_experiment(self.small())
+        assert len(cluster.instances) == 5
+        assert len(experiment._load_threads) == 2
+        assert len(cluster.datastore) == 400
+        # Cache warmed with (nearly all of) the active half of the
+        # database — hash imbalance may evict a few entries at the margin.
+        assert cluster.total_entries() >= 0.9 * workload.keyspace.active_size
+
+    def test_memory_sized_to_half_database(self):
+        cluster, __, ___ = build_ycsb_experiment(self.small())
+        total_memory = sum(i.memory_bytes for i in cluster.instances.values())
+        database = 400 * (1024 + 100)
+        assert total_memory == pytest.approx(0.5 * database, rel=0.05)
+
+    def test_runs_and_recovers(self):
+        cluster, __, experiment = build_ycsb_experiment(self.small())
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        assert result.recovery_time("cache-0") is not None
+
+    def test_switch_scheduled_at_failure(self):
+        scenario = self.small(switch_fraction=1.0)
+        cluster, workload, experiment = build_ycsb_experiment(scenario)
+        before = list(workload.keyspace.active_keys())
+        experiment.run()
+        assert workload.keyspace.switched_fraction == 1.0
+        assert set(before).isdisjoint(workload.keyspace.active_keys())
+
+    def test_partial_switch(self):
+        scenario = self.small(switch_fraction=0.2)
+        __, workload, experiment = build_ycsb_experiment(scenario)
+        experiment.run()
+        assert workload.keyspace.switched_fraction == 0.2
+
+    def test_load_levels_ordered(self):
+        assert LOW_LOAD_THREADS < HIGH_LOAD_THREADS
+
+
+class TestFacebookScenario:
+    def test_builder_and_run(self):
+        cluster, workload, experiment, targets = build_facebook_experiment(
+            GEMINI_O_W, num_instances=4, failed_fraction=0.25,
+            records=400, request_rate=500.0, fail_at=2.0, outage=3.0,
+            tail=5.0)
+        assert targets == ["cache-0"]
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        assert result.recorder.ops() > 500
+
+    def test_multiple_targets(self):
+        __, ___, ____, targets = build_facebook_experiment(
+            GEMINI_O_W, num_instances=10, failed_fraction=0.2,
+            records=400, request_rate=500.0)
+        assert targets == ["cache-0", "cache-1"]
+
+
+class TestThresholdHelper:
+    def test_threshold_below_pre_failure(self):
+        cluster, __, experiment = build_ycsb_experiment(YcsbScenario(
+            policy=GEMINI_O, records=400, threads=2, fail_at=4.0,
+            outage=2.0, tail=4.0))
+        result = experiment.run()
+        pre = result.hit_ratio_before("cache-0", 4.0)
+        threshold = pre_failure_threshold(result, "cache-0", 4.0)
+        assert threshold <= pre
+        assert threshold >= 0.05

@@ -1,0 +1,115 @@
+"""Integration: full failure/recovery cycles under live load.
+
+These runs exercise every component at once — clients, instances,
+coordinator, recovery workers, dirty lists, working-set transfer — and
+check the paper's headline guarantees: zero stale reads with Gemini, warm
+restarts (valid entries reused), and mode machines returning to normal.
+"""
+
+import pytest
+
+from repro.recovery.policies import GEMINI_I, GEMINI_I_W, GEMINI_O, GEMINI_O_W
+from repro.sim.failures import FailureSchedule
+from repro.types import FragmentMode
+from tests.conftest import build_loaded_experiment
+
+
+@pytest.mark.parametrize("policy", [GEMINI_I, GEMINI_O, GEMINI_I_W,
+                                    GEMINI_O_W],
+                         ids=lambda p: p.name)
+class TestAllGeminiVariants:
+    def test_cycle_is_consistent_and_recovers(self, policy):
+        cluster, __, experiment = build_loaded_experiment(
+            policy, records=300, duration=30.0, threads=4,
+            update_fraction=0.10,
+            failures=[FailureSchedule(at=8.0, duration=6.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        # Headline guarantee: read-after-write consistency throughout.
+        assert result.oracle.stale_reads == 0
+        assert result.oracle.reads_checked > 1000
+        # The instance finished recovery and serves again.
+        assert result.recovery_time("cache-0") is not None
+        final = cluster.coordinator.current
+        assert all(f.mode is FragmentMode.NORMAL for f in final.fragments)
+        # Hit ratio on the recovered instance returns.
+        pre = result.hit_ratio_before("cache-0", 8.0)
+        restore = result.time_to_restore_hit_ratio(
+            "cache-0", max(0.1, pre - 0.05))
+        assert restore is not None
+
+
+class TestWarmRestart:
+    def test_valid_entries_survive_and_serve(self):
+        """The core Gemini claim: the recovering instance takes immediate
+        ownership of still-valid entries — unlike a volatile cache it does
+        not re-query the store for them."""
+        cluster, workload, experiment = build_loaded_experiment(
+            GEMINI_O, records=300, duration=25.0, threads=4,
+            update_fraction=0.02,
+            failures=[FailureSchedule(at=8.0, duration=5.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        series = dict(result.instance_hit_series["cache-0"])
+        # Within two seconds of recovery (t=13) the hit ratio is already
+        # near its pre-failure level.
+        after = [series.get(t) for t in (15.0, 16.0, 17.0)]
+        after = [x for x in after if x is not None]
+        assert after and max(after) > 0.7
+
+
+class TestMultipleConcurrentFailures:
+    def test_two_instances_fail_together(self):
+        cluster, __, experiment = build_loaded_experiment(
+            GEMINI_O_W, records=300, duration=35.0, threads=4,
+            num_instances=5,
+            failures=[FailureSchedule(at=8.0, duration=6.0,
+                                      targets=["cache-0", "cache-1"])])
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        assert result.recovery_time("cache-0") is not None
+        assert result.recovery_time("cache-1") is not None
+
+    def test_staggered_failures(self):
+        cluster, __, experiment = build_loaded_experiment(
+            GEMINI_O_W, records=300, duration=40.0, threads=4,
+            num_instances=5,
+            failures=[
+                FailureSchedule(at=6.0, duration=5.0, targets=["cache-0"]),
+                FailureSchedule(at=9.0, duration=5.0, targets=["cache-2"]),
+            ])
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        final = cluster.coordinator.current
+        assert all(f.mode is FragmentMode.NORMAL for f in final.fragments)
+
+
+class TestRepeatedFailuresSameInstance:
+    def test_fail_recover_fail_recover(self):
+        cluster, __, experiment = build_loaded_experiment(
+            GEMINI_O, records=300, duration=45.0, threads=4,
+            failures=[
+                FailureSchedule(at=6.0, duration=4.0, targets=["cache-0"]),
+                FailureSchedule(at=20.0, duration=4.0, targets=["cache-0"]),
+            ])
+        result = experiment.run()
+        assert result.oracle.stale_reads == 0
+        final = cluster.coordinator.current
+        assert all(f.mode is FragmentMode.NORMAL for f in final.fragments)
+
+
+class TestTransientOverheadIsSmall:
+    def test_throughput_holds_during_outage(self):
+        """Section 5.3: maintaining dirty lists is masked by store write
+        latency — throughput in transient mode stays comparable."""
+        cluster, __, experiment = build_loaded_experiment(
+            GEMINI_O, records=300, duration=30.0, threads=4,
+            update_fraction=0.10,
+            failures=[FailureSchedule(at=10.0, duration=10.0,
+                                      targets=["cache-0"])])
+        result = experiment.run()
+        rates = dict(result.throughput_series())
+        before = [rates.get(t, 0) for t in (7.0, 8.0, 9.0)]
+        during = [rates.get(t, 0) for t in (15.0, 16.0, 17.0)]
+        assert min(during) > 0.5 * max(before)

@@ -1,0 +1,47 @@
+"""Unit tests for report formatting."""
+
+from repro.metrics.report import format_table, render_series
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        assert "name" in text and "value" in text
+        assert "bb" in text and "2.500" in text
+
+    def test_title_on_first_line(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = format_table(["a", "b"], [["xxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000001], [12345.6], [0.5]])
+        assert "1e-06" in text
+        assert "0.500" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_empty_series(self):
+        assert "empty" in render_series([], title="t")
+
+    def test_contains_extremes(self):
+        series = [(float(t), float(t % 5)) for t in range(50)]
+        art = render_series(series, title="saw")
+        assert "saw" in art
+        assert "*" in art
+
+    def test_flat_series_does_not_crash(self):
+        art = render_series([(0.0, 1.0), (1.0, 1.0)])
+        assert "*" in art
+
+    def test_time_labels(self):
+        art = render_series([(0.0, 0.0), (100.0, 1.0)])
+        assert "t=0s" in art and "t=100s" in art

@@ -1,0 +1,90 @@
+"""Unit tests for time series and windowed counters."""
+
+import pytest
+
+from repro.metrics.series import TimeSeries, WindowedCounter
+
+
+class TestTimeSeries:
+    def test_counts_bucketed(self):
+        series = TimeSeries(bucket_width=1.0)
+        for t in (0.1, 0.9, 1.5):
+            series.add(t)
+        assert series.counts() == [(0.0, 2), (1.0, 1)]
+
+    def test_rates_divide_by_width(self):
+        series = TimeSeries(bucket_width=2.0)
+        for __ in range(4):
+            series.add(1.0)
+        assert series.rates() == [(0.0, 2.0)]
+
+    def test_means(self):
+        series = TimeSeries()
+        series.add(0.5, 10.0)
+        series.add(0.6, 20.0)
+        assert series.means() == [(0.0, 15.0)]
+
+    def test_count_at(self):
+        series = TimeSeries()
+        series.add(3.2)
+        assert series.count_at(3.9) == 1
+        assert series.count_at(4.0) == 0
+
+    def test_totals(self):
+        series = TimeSeries()
+        series.add(0.0, 2.0)
+        series.add(5.0, 3.0)
+        assert series.total_count() == 2
+        assert series.total_sum() == 5.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bucket_width=0)
+
+    def test_len_is_bucket_count(self):
+        series = TimeSeries()
+        series.add(0.0)
+        series.add(10.0)
+        assert len(series) == 2
+
+
+class TestWindowedCounter:
+    def test_ratio_series(self):
+        counter = WindowedCounter()
+        counter.observe(0.1, True)
+        counter.observe(0.2, False)
+        counter.observe(1.1, True)
+        assert counter.ratio_series() == [(0.0, 0.5), (1.0, 1.0)]
+
+    def test_ratio_at_empty_bucket_is_none(self):
+        counter = WindowedCounter()
+        assert counter.ratio_at(5.0) is None
+
+    def test_overall_ratio(self):
+        counter = WindowedCounter()
+        for success in (True, True, False, False):
+            counter.observe(0.0, success)
+        assert counter.overall_ratio() == 0.5
+
+    def test_overall_ratio_empty(self):
+        assert WindowedCounter().overall_ratio() == 0.0
+
+    def test_first_time_reaching(self):
+        counter = WindowedCounter()
+        counter.observe(0.0, False)
+        counter.observe(1.0, False)
+        counter.observe(2.0, True)
+        counter.observe(3.0, True)
+        assert counter.first_time_reaching(1.0) == 2.0
+
+    def test_first_time_reaching_with_after(self):
+        counter = WindowedCounter()
+        counter.observe(0.0, True)   # before the failure
+        counter.observe(1.0, False)
+        counter.observe(2.0, True)
+        assert counter.first_time_reaching(1.0, after=0.5) == 2.0
+
+    def test_first_time_reaching_never(self):
+        counter = WindowedCounter()
+        counter.observe(0.0, False)
+        assert counter.first_time_reaching(0.5) is None

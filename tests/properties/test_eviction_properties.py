@@ -1,0 +1,105 @@
+"""Property-based tests for eviction policies and the cache instance's
+memory accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.eviction import make_policy
+from repro.cache.instance import CacheInstance, CacheOp
+from repro.sim.core import Simulator
+from repro.types import Value
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "access", "remove"]),
+              st.integers(min_value=0, max_value=9)),
+    min_size=1, max_size=60)
+
+
+class TestPolicyProperties:
+    @given(name=st.sampled_from(["lru", "fifo", "clock"]), ops=OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_victim_is_always_a_member(self, name, ops):
+        policy = make_policy(name)
+        members = set()
+        for op, key_id in ops:
+            key = f"k{key_id}"
+            if op == "insert":
+                policy.on_insert(key)
+                members.add(key)
+            elif op == "access":
+                policy.on_access(key)
+            else:
+                policy.on_remove(key)
+                members.discard(key)
+        assert len(policy) == len(members)
+        victim = policy.victim()
+        if members:
+            assert victim in members
+        else:
+            assert victim is None
+
+    @given(ops=OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_lru_victim_is_least_recently_touched(self, ops):
+        policy = make_policy("lru")
+        touch_order = []  # most recent last
+
+        def touch(key):
+            if key in touch_order:
+                touch_order.remove(key)
+            touch_order.append(key)
+
+        for op, key_id in ops:
+            key = f"k{key_id}"
+            if op == "insert":
+                policy.on_insert(key)
+                touch(key)
+            elif op == "access":
+                if key in touch_order:
+                    policy.on_access(key)
+                    touch(key)
+            else:
+                policy.on_remove(key)
+                if key in touch_order:
+                    touch_order.remove(key)
+        if touch_order:
+            assert policy.victim() == touch_order[0]
+
+
+class TestInstanceMemoryProperties:
+    @given(
+        budget=st.integers(min_value=500, max_value=5000),
+        inserts=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30),
+                      st.integers(min_value=0, max_value=400)),
+            min_size=1, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memory_accounting_exact_and_bounded(self, budget, inserts):
+        sim = Simulator()
+        instance = CacheInstance(sim, "c", memory_bytes=budget)
+        for key_id, size in inserts:
+            instance.handle_request(CacheOp(
+                op="set", key=f"key-{key_id}", value=Value(1, size)))
+        # Used bytes always equals the sum over live entries...
+        assert instance.used_bytes == sum(
+            e.size for e in instance._entries.values())
+        # ...and respects the budget whenever more than one entry lives.
+        if instance.entry_count > 1:
+            assert instance.used_bytes <= budget
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_never_loses_unrelated_state(self, data):
+        """After arbitrary churn the instance still serves a freshly
+        inserted key (no corruption of the entry map / policy)."""
+        sim = Simulator()
+        instance = CacheInstance(sim, "c", memory_bytes=1000)
+        n = data.draw(st.integers(min_value=1, max_value=50))
+        for index in range(n):
+            instance.handle_request(CacheOp(
+                op="set", key=f"k{index % 7}", value=Value(1, index * 10)))
+        instance.handle_request(CacheOp(op="set", key="probe",
+                                        value=Value(9, 10)))
+        assert instance.handle_request(
+            CacheOp(op="get", key="probe")).version == 9

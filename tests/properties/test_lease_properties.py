@@ -1,0 +1,117 @@
+"""Property-based tests for the IQ lease table.
+
+A random sequence of lease operations and clock advances must preserve
+the Table 2 invariants: at most one live I lease per key, and never a
+live I lease coexisting with a live Q lease on the same key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.leases import LeaseTable
+from repro.errors import LeaseBackoff
+
+KEYS = st.sampled_from(["a", "b", "c", "d"])
+
+
+class LeaseMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+        self.table = LeaseTable(lambda: self.now, iq_lifetime=1.0)
+        self.live_i = {}  # key -> token we believe is live
+        self.live_q = {}  # key -> set of tokens
+
+    def _expire_local(self):
+        """Mirror lazy expiry in the model."""
+        self.live_i = {k: (t, granted) for k, (t, granted) in
+                       self.live_i.items() if self.now < granted + 1.0}
+        self.live_q = {
+            k: {tok: granted for tok, granted in held.items()
+                if self.now < granted + 1.0}
+            for k, held in self.live_q.items()}
+        self.live_q = {k: held for k, held in self.live_q.items() if held}
+
+    @rule(key=KEYS)
+    def acquire_i(self, key):
+        self._expire_local()
+        try:
+            lease = self.table.acquire_i(key)
+        except LeaseBackoff:
+            # Back off is only legal if we believe a lease is live.
+            assert key in self.live_i or key in self.live_q
+        else:
+            assert key not in self.live_i and key not in self.live_q
+            self.live_i[key] = (lease.token, self.now)
+
+    @rule(key=KEYS)
+    def acquire_q(self, key):
+        self._expire_local()
+        lease = self.table.acquire_q(key)  # Q always granted
+        self.live_i.pop(key, None)  # voided
+        self.live_q.setdefault(key, {})[lease.token] = self.now
+
+    @rule(key=KEYS)
+    def release_q_one(self, key):
+        self._expire_local()
+        held = self.live_q.get(key)
+        if held:
+            token = next(iter(held))
+            assert self.table.release_q(key, token)
+            del held[token]
+            if not held:
+                del self.live_q[key]
+
+    @rule(key=KEYS)
+    def release_i(self, key):
+        self._expire_local()
+        if key in self.live_i:
+            token, __ = self.live_i.pop(key)
+            self.table.release_i(key, token)
+
+    @rule(delta=st.floats(min_value=0.0, max_value=2.0))
+    def advance_clock(self, delta):
+        self.now += delta
+
+    @invariant()
+    def model_agrees_on_i_validity(self):
+        self._expire_local()
+        for key, (token, __) in self.live_i.items():
+            assert self.table.check_i(key, token)
+
+
+TestLeaseMachine = LeaseMachine.TestCase
+TestLeaseMachine.settings = settings(max_examples=40,
+                                     stateful_step_count=40,
+                                     deadline=None)
+
+
+class TestSimpleProperties:
+    @given(st.lists(st.sampled_from(["i", "q"]), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_never_two_live_i_leases(self, ops):
+        now = [0.0]
+        table = LeaseTable(lambda: now[0], iq_lifetime=100.0)
+        granted_i = 0
+        for op in ops:
+            if op == "i":
+                try:
+                    table.acquire_i("k")
+                    granted_i += 1
+                except LeaseBackoff:
+                    pass
+            else:
+                table.acquire_q("k")
+        # With no expiry and no release, at most one I grant is possible
+        # before a back off or a void occurs — and after any Q, no I.
+        assert granted_i <= 1
+
+    @given(st.floats(min_value=0.001, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_expiry_always_unblocks(self, lifetime):
+        now = [0.0]
+        table = LeaseTable(lambda: now[0], iq_lifetime=lifetime)
+        table.acquire_i("k")
+        now[0] += lifetime * 1.01
+        table.acquire_i("k")  # must not raise

@@ -1,0 +1,62 @@
+"""Property-based tests for the consistency oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.oracle import ConsistencyOracle
+
+
+commits = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=100),
+              st.integers(min_value=1, max_value=50)),
+    min_size=0, max_size=30,
+).map(lambda pairs: sorted(pairs, key=lambda p: p[0]))
+
+
+class TestOracleProperties:
+    @given(commits=commits, start=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_reading_max_confirmed_version_is_never_stale(self, commits,
+                                                          start):
+        oracle = ConsistencyOracle()
+        for time, version in commits:
+            oracle.record_commit("k", version, time)
+        confirmed = [v for t, v in commits if t <= start]
+        version = max(confirmed, default=0)
+        assert not oracle.record_read("k", version, start, start + 0.1)
+
+    @given(commits=commits, start=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_reading_below_max_confirmed_is_stale(self, commits, start):
+        oracle = ConsistencyOracle()
+        for time, version in commits:
+            oracle.record_commit("k", version, time)
+        confirmed = [v for t, v in commits if t <= start]
+        if not confirmed or max(confirmed) == 0:
+            return
+        assert oracle.record_read("k", max(confirmed) - 1, start,
+                                  start + 0.1)
+
+    @given(commits=commits)
+    @settings(max_examples=100, deadline=None)
+    def test_expected_version_monotone_in_time(self, commits):
+        oracle = ConsistencyOracle()
+        for time, version in commits:
+            oracle.record_commit("k", version, time)
+        expectations = [oracle._expected_version("k", t)
+                        for t in range(0, 101, 10)]
+        assert expectations == sorted(expectations)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                              st.booleans()),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_counts_sum_to_totals(self, reads):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 10, 0.0)
+        for finish, fresh in reads:
+            oracle.record_read("k", 10 if fresh else 1,
+                               start_time=finish, finish_time=finish)
+        assert sum(oracle.stale_reads_per_second().values()) \
+            == oracle.stale_reads
+        assert oracle.reads_checked == len(reads)

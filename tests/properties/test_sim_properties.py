@@ -1,0 +1,83 @@
+"""Property-based tests for the simulation kernel and workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Simulator
+from repro.workload.distributions import ZipfianGenerator
+from repro.workload.keyspace import KeySpace
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_callbacks_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_process_sleep_sums(self, sleeps):
+        sim = Simulator()
+
+        def proc():
+            for sleep in sleeps:
+                yield sleep
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.ok
+        assert sim.now == sum(sleeps)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_runs_are_deterministic(self, seed, workers):
+        def one_run():
+            sim = Simulator()
+            rng = random.Random(seed)
+            trace = []
+
+            def worker(tag):
+                while sim.now < 5.0:
+                    yield rng.random()
+                    trace.append((sim.now, tag))
+
+            for tag in range(workers):
+                sim.process(worker(tag))
+            sim.run(until=5.0)
+            return trace
+
+        assert one_run() == one_run()
+
+
+class TestWorkloadProperties:
+    @given(n=st.integers(min_value=1, max_value=5000),
+           theta=st.floats(min_value=0.1, max_value=5.0),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_zipfian_ranks_always_in_range(self, n, theta, seed):
+        gen = ZipfianGenerator(n, theta=theta, rng=random.Random(seed))
+        for __ in range(50):
+            assert 0 <= gen.next() < n
+
+    @given(half=st.integers(min_value=1, max_value=500),
+           fraction=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_keyspace_switch_preserves_size_and_membership(self, half,
+                                                           fraction):
+        ks = KeySpace(half * 2)
+        all_keys = set(ks.all_keys())
+        ks.switch_hottest(fraction)
+        active = ks.active_keys()
+        assert len(active) == half
+        assert len(set(active)) == half  # no duplicates introduced
+        assert set(active) <= all_keys

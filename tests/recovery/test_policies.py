@@ -1,0 +1,83 @@
+"""Unit tests for the recovery policy definitions (Figure 5)."""
+
+import pytest
+
+from repro.recovery.policies import (
+    GEMINI_I,
+    GEMINI_I_W,
+    GEMINI_O,
+    GEMINI_O_W,
+    STALE_CACHE,
+    VOLATILE_CACHE,
+    RecoveryPolicy,
+    policy_by_name,
+)
+
+
+class TestFigure5Matrix:
+    """The four Gemini variations cross exactly two knobs."""
+
+    @pytest.mark.parametrize("policy,overwrite,wst", [
+        (GEMINI_I, False, False),
+        (GEMINI_O, True, False),
+        (GEMINI_I_W, False, True),
+        (GEMINI_O_W, True, True),
+    ])
+    def test_knobs(self, policy, overwrite, wst):
+        assert policy.overwrite_dirty is overwrite
+        assert policy.working_set_transfer is wst
+        assert policy.maintain_dirty
+        assert policy.is_gemini
+
+
+class TestBaselines:
+    def test_baselines_do_not_recover(self):
+        for policy in (STALE_CACHE, VOLATILE_CACHE):
+            assert not policy.is_gemini
+            assert not policy.maintain_dirty
+            assert not policy.working_set_transfer
+
+    def test_baseline_kinds(self):
+        assert STALE_CACHE.kind == "stale"
+        assert VOLATILE_CACHE.kind == "volatile"
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(name="x", kind="magic", maintain_dirty=False,
+                           overwrite_dirty=False, working_set_transfer=False)
+
+    def test_baseline_with_dirty_lists_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(name="x", kind="stale", maintain_dirty=True,
+                           overwrite_dirty=False, working_set_transfer=False)
+
+    def test_threshold_range_checked(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(name="x", kind="gemini", maintain_dirty=True,
+                           overwrite_dirty=False, working_set_transfer=True,
+                           wst_hit_threshold=1.5)
+
+    def test_valid_threshold_accepted(self):
+        policy = RecoveryPolicy(
+            name="x", kind="gemini", maintain_dirty=True,
+            overwrite_dirty=False, working_set_transfer=True,
+            wst_hit_threshold=0.9)
+        assert policy.wst_hit_threshold == 0.9
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", [
+        "Gemini-I", "Gemini-O", "Gemini-I+W", "Gemini-O+W",
+        "StaleCache", "VolatileCache"])
+    def test_lookup_by_paper_name(self, name):
+        assert policy_by_name(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            policy_by_name("Gemini-X")
+
+    def test_policies_frozen(self):
+        with pytest.raises(Exception):
+            GEMINI_I.name = "other"

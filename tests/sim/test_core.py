@@ -1,0 +1,339 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim.core import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_callbacks_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_callbacks_run_fifo(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_zero_delay_runs_before_time_advances(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.schedule(0.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.0, 1.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_advances_clock_to_bound(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(20.0, seen.append, 2)
+        sim.run(until=10.0)
+        assert seen == [1]
+
+    def test_clock_advances_monotonically(self, sim):
+        stamps = []
+        for delay in (3.0, 1.0, 2.0, 1.0):
+            sim.schedule(delay, lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == sorted(stamps)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        sim.process(waiter())
+        sim.schedule(1.0, event.succeed, 42)
+        sim.run()
+        assert got == [42]
+
+    def test_fail_raises_in_waiter(self, sim):
+        event = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.schedule(1.0, event.fail, ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_value_before_trigger_rejected(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            __ = event.value
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_callback_after_dispatch_still_runs(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_timeout_fires_at_deadline(self, sim):
+        fired = []
+        timeout = sim.timeout(2.5, "done")
+        timeout.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(2.5, "done")]
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+
+class TestProcess:
+    def test_yield_float_sleeps(self, sim):
+        marks = []
+
+        def proc():
+            yield 1.5
+            marks.append(sim.now)
+            yield 2.5
+            marks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert marks == [1.5, 4.0]
+
+    def test_process_return_value(self, sim):
+        def proc():
+            yield 1.0
+            return "result"
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.value == "result"
+
+    def test_yield_process_composes(self, sim):
+        def inner():
+            yield 1.0
+            return 10
+
+        def outer():
+            value = yield sim.process(inner())
+            return value + 1
+
+        process = sim.process(outer())
+        sim.run()
+        assert process.value == 11
+
+    def test_exception_propagates_to_parent(self, sim):
+        def inner():
+            yield 1.0
+            raise RuntimeError("inner died")
+
+        caught = []
+
+        def outer():
+            try:
+                yield sim.process(inner())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(outer())
+        sim.run()
+        assert caught == ["inner died"]
+
+    def test_unhandled_exception_fails_process(self, sim):
+        def proc():
+            yield 1.0
+            raise KeyError("oops")
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.triggered and not process.ok
+
+    def test_yield_garbage_fails_process(self, sim):
+        def proc():
+            yield "not a valid wait target"
+
+        process = sim.process(proc())
+        sim.run()
+        assert not process.ok
+
+    def test_negative_sleep_fails_process(self, sim):
+        def proc():
+            yield -1.0
+
+        process = sim.process(proc())
+        sim.run()
+        assert not process.ok
+
+    def test_interrupt_wakes_sleeping_process(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append((sim.now, exc.cause))
+
+        process = sim.process(sleeper())
+        sim.schedule(2.0, process.interrupt, "reason")
+        sim.run()
+        assert log == [(2.0, "reason")]
+
+    def test_interrupt_cancels_original_timer(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield 5.0
+            except Interrupt:
+                log.append("interrupted")
+                yield 1.0
+                log.append("resumed")
+
+        process = sim.process(sleeper())
+        sim.schedule(1.0, process.interrupt)
+        sim.run()
+        # The original 5s timer must not resume the generator a second time.
+        assert log == ["interrupted", "resumed"]
+        assert process.ok
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick():
+            yield 0.1
+
+        process = sim.process(quick())
+        sim.run()
+        process.interrupt("late")
+        sim.run()
+        assert process.ok
+
+    def test_run_until_returns_event_value(self, sim):
+        def proc():
+            yield 3.0
+            return "late value"
+
+        process = sim.process(proc())
+        assert sim.run_until(process) == "late value"
+
+    def test_run_until_deadlock_detected(self, sim):
+        event = sim.event()  # nobody will trigger this
+
+        def proc():
+            yield event
+
+        process = sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run_until(process)
+
+
+class TestComposites:
+    def test_all_of_collects_values(self, sim):
+        t1 = sim.timeout(1.0, "a")
+        t2 = sim.timeout(2.0, "b")
+        got = []
+
+        def proc():
+            values = yield sim.all_of([t1, t2])
+            got.append((sim.now, values))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [(2.0, ["a", "b"])]
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        event = sim.all_of([])
+        sim.run()
+        assert event.value == []
+
+    def test_all_of_fails_on_child_failure(self, sim):
+        bad = sim.event()
+        good = sim.timeout(5.0)
+        combined = sim.all_of([bad, good])
+        sim.schedule(1.0, bad.fail, RuntimeError("x"))
+        sim.run()
+        assert combined.triggered and not combined.ok
+
+    def test_any_of_returns_first_winner(self, sim):
+        slow = sim.timeout(5.0, "slow")
+        fast = sim.timeout(1.0, "fast")
+        got = []
+
+        def proc():
+            index, value = yield sim.any_of([slow, fast])
+            got.append((sim.now, index, value))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [(1.0, 1, "fast")]
+
+    def test_any_of_requires_children(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, period):
+                while sim.now < 10.0:
+                    yield period
+                    trace.append((round(sim.now, 9), tag))
+
+            sim.process(worker("x", 0.7))
+            sim.process(worker("y", 1.1))
+            sim.run(until=10.0)
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,90 @@
+"""Unit tests for failure scheduling and injection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.network import RemoteNode
+
+
+class Dummy(RemoteNode):
+    def handle_request(self, request):
+        return request
+
+
+class TestFailureSchedule:
+    def test_recovers_at(self):
+        schedule = FailureSchedule(at=10.0, duration=5.0, targets=["a"])
+        assert schedule.recovers_at == 15.0
+
+    def test_permanent_failure_has_no_recovery(self):
+        schedule = FailureSchedule(at=1.0, duration=None, targets=["a"])
+        assert schedule.recovers_at is None
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FailureSchedule(at=-1.0, duration=1.0, targets=["a"])
+        with pytest.raises(SimulationError):
+            FailureSchedule(at=0.0, duration=0.0, targets=["a"])
+        with pytest.raises(SimulationError):
+            FailureSchedule(at=0.0, duration=1.0, targets=[])
+
+
+class TestFailureInjector:
+    def test_emulated_failure_keeps_node_up(self, sim):
+        node = Dummy(sim, "n1")
+        injector = FailureInjector(sim, nodes={"n1": node})
+        injector.apply(FailureSchedule(at=1.0, duration=2.0, targets=["n1"],
+                                       emulated=True))
+        sim.run()
+        assert node.up  # power was never disturbed
+
+    def test_real_failure_downs_and_recovers_node(self, sim):
+        node = Dummy(sim, "n1")
+        injector = FailureInjector(sim, nodes={"n1": node})
+        injector.apply(FailureSchedule(at=1.0, duration=2.0, targets=["n1"],
+                                       emulated=False))
+        states = []
+        sim.schedule(2.0, lambda: states.append(node.up))
+        sim.schedule(4.0, lambda: states.append(node.up))
+        sim.run()
+        assert states == [False, True]
+
+    def test_observers_see_events_in_order(self, sim):
+        injector = FailureInjector(sim)
+        events = []
+        injector.subscribe(lambda event, addr: events.append(
+            (sim.now, event, addr)))
+        injector.apply(FailureSchedule(at=1.0, duration=3.0,
+                                       targets=["a", "b"]))
+        sim.run()
+        assert events == [
+            (1.0, "fail", "a"), (1.0, "fail", "b"),
+            (4.0, "recover", "a"), (4.0, "recover", "b"),
+        ]
+
+    def test_permanent_failure_never_recovers(self, sim):
+        injector = FailureInjector(sim)
+        events = []
+        injector.subscribe(lambda event, addr: events.append(event))
+        injector.apply(FailureSchedule(at=1.0, duration=None, targets=["a"]))
+        sim.run()
+        assert events == ["fail"]
+
+    def test_log_records_history(self, sim):
+        injector = FailureInjector(sim)
+        injector.fail_now("x")
+        injector.recover_now("x")
+        assert [entry[1] for entry in injector.log] == ["fail", "recover"]
+
+    def test_apply_all(self, sim):
+        injector = FailureInjector(sim)
+        count = []
+        injector.subscribe(lambda event, addr: count.append(event))
+        injector.apply_all([
+            FailureSchedule(at=1.0, duration=1.0, targets=["a"]),
+            FailureSchedule(at=2.0, duration=1.0, targets=["b"]),
+        ])
+        sim.run()
+        assert len(count) == 4

@@ -1,0 +1,85 @@
+"""Unit tests for Mutex / Semaphore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.sync import Mutex, Semaphore
+
+
+class TestSemaphore:
+    def test_capacity_enforced(self, sim):
+        semaphore = Semaphore(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(tag):
+            yield semaphore.acquire()
+            active.append(tag)
+            peak.append(len(active))
+            yield 1.0
+            active.remove(tag)
+            semaphore.release()
+
+        for tag in range(5):
+            sim.process(worker(tag))
+        sim.run()
+        assert max(peak) == 2
+
+    def test_fifo_wakeup_order(self, sim):
+        semaphore = Semaphore(sim, capacity=1)
+        order = []
+
+        def worker(tag):
+            yield semaphore.acquire()
+            order.append(tag)
+            yield 1.0
+            semaphore.release()
+
+        for tag in range(4):
+            sim.process(worker(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_acquire_rejected(self, sim):
+        semaphore = Semaphore(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            semaphore.release()
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Semaphore(sim, capacity=0)
+
+    def test_counters(self, sim):
+        semaphore = Semaphore(sim, capacity=3)
+
+        def holder():
+            yield semaphore.acquire()
+            yield 10.0
+
+        sim.process(holder())
+        sim.process(holder())
+        sim.run(until=1.0)
+        assert semaphore.available == 1
+        assert semaphore.waiting == 0
+
+
+class TestMutex:
+    def test_mutual_exclusion(self, sim):
+        mutex = Mutex(sim)
+        inside = []
+        violations = []
+
+        def critical(tag):
+            yield mutex.acquire()
+            if inside:
+                violations.append(tag)
+            inside.append(tag)
+            yield 0.5
+            inside.remove(tag)
+            mutex.release()
+
+        for tag in range(6):
+            sim.process(critical(tag))
+        sim.run()
+        assert violations == []

@@ -1,0 +1,119 @@
+"""Unit tests for the read-after-write consistency oracle."""
+
+import pytest
+
+from repro.errors import ConsistencyViolation
+from repro.verify.oracle import ConsistencyOracle
+
+
+class TestBasicSemantics:
+    def test_fresh_read_is_clean(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=1.0)
+        assert not oracle.record_read("k", 2, start_time=2.0, finish_time=2.1)
+        assert oracle.stale_reads == 0
+
+    def test_read_of_older_version_after_commit_is_stale(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=1.0)
+        assert oracle.record_read("k", 1, start_time=2.0, finish_time=2.1)
+        assert oracle.stale_reads == 1
+
+    def test_read_overlapping_write_may_return_old(self):
+        """Write confirmed at t=2; a read starting at t=1.5 may see v1."""
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=2.0)
+        assert not oracle.record_read("k", 1, start_time=1.5, finish_time=2.5)
+
+    def test_loaded_record_never_stale_without_commits(self):
+        oracle = ConsistencyOracle()
+        assert not oracle.record_read("k", 1, start_time=0.5, finish_time=0.6)
+
+    def test_newer_than_expected_is_clean(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=1.0)
+        assert not oracle.record_read("k", 5, start_time=2.0, finish_time=2.1)
+
+    def test_keys_tracked_independently(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("a", 2, commit_time=1.0)
+        assert not oracle.record_read("b", 1, start_time=2.0, finish_time=2.1)
+
+    def test_read_exactly_at_commit_time_owes_new_value(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=1.0)
+        assert oracle.record_read("k", 1, start_time=1.0, finish_time=1.1)
+
+
+class TestOutOfOrderCompletions:
+    def test_running_max_versions(self):
+        """w(v3) confirms before w(v2): after both, v3 is owed."""
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 3, commit_time=1.0)
+        oracle.record_commit("k", 2, commit_time=2.0)
+        assert oracle.record_read("k", 2, start_time=3.0, finish_time=3.1)
+        assert not oracle.record_read("k", 3, start_time=3.0, finish_time=3.1)
+
+    def test_expected_between_commits(self):
+        oracle = ConsistencyOracle()
+        oracle.record_commit("k", 2, commit_time=1.0)
+        oracle.record_commit("k", 3, commit_time=5.0)
+        assert not oracle.record_read("k", 2, start_time=3.0, finish_time=3.1)
+        assert oracle.record_read("k", 1, start_time=3.0, finish_time=3.1)
+
+
+class TestStrictMode:
+    def test_strict_raises_on_first_violation(self):
+        oracle = ConsistencyOracle(strict=True)
+        oracle.record_commit("k", 2, commit_time=1.0)
+        with pytest.raises(ConsistencyViolation):
+            oracle.record_read("k", 1, start_time=2.0, finish_time=2.1)
+
+    def test_strict_quiet_on_clean_reads(self):
+        oracle = ConsistencyOracle(strict=True)
+        oracle.record_commit("k", 2, commit_time=1.0)
+        oracle.record_read("k", 2, start_time=2.0, finish_time=2.1)
+
+
+class TestReporting:
+    def make_dirty_oracle(self):
+        oracle = ConsistencyOracle(bucket_width=1.0)
+        oracle.record_commit("k", 2, commit_time=0.5)
+        for i in range(5):
+            oracle.record_read("k", 1, start_time=1.0 + i * 0.1,
+                               finish_time=1.05 + i * 0.1)
+        for i in range(3):
+            oracle.record_read("k", 1, start_time=2.0 + i * 0.1,
+                               finish_time=2.05 + i * 0.1)
+        oracle.record_read("k", 2, start_time=3.0, finish_time=3.1)
+        return oracle
+
+    def test_stale_reads_per_second(self):
+        series = self.make_dirty_oracle().stale_reads_per_second()
+        assert series == {1.0: 5, 2.0: 3}
+
+    def test_peak_stale_rate(self):
+        assert self.make_dirty_oracle().peak_stale_rate() == 5.0
+
+    def test_stale_fraction_per_second(self):
+        fractions = self.make_dirty_oracle().stale_fraction_per_second()
+        assert fractions[1.0] == 1.0
+
+    def test_summary(self):
+        summary = self.make_dirty_oracle().summary()
+        assert summary["reads_checked"] == 9
+        assert summary["stale_reads"] == 8
+        assert 0 < summary["stale_fraction"] < 1
+
+    def test_violation_records_capped(self):
+        oracle = ConsistencyOracle(max_recorded=2)
+        oracle.record_commit("k", 2, commit_time=0.0)
+        for i in range(5):
+            oracle.record_read("k", 1, start_time=1.0, finish_time=1.1)
+        assert len(oracle.violations) == 2
+        assert oracle.stale_reads == 5
+
+    def test_empty_oracle_reports_cleanly(self):
+        oracle = ConsistencyOracle()
+        assert oracle.peak_stale_rate() == 0.0
+        assert oracle.summary()["stale_fraction"] == 0.0

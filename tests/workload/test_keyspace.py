@@ -1,0 +1,86 @@
+"""Unit tests for the evolving key space."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.keyspace import KeySpace
+
+
+class TestBasics:
+    def test_active_set_is_half_the_database(self):
+        ks = KeySpace(100)
+        assert ks.active_size == 50
+
+    def test_keys_stable_and_unique(self):
+        ks = KeySpace(100)
+        keys = [ks.key(r) for r in range(50)]
+        assert len(set(keys)) == 50
+        assert keys[0] == ks.key(0)
+
+    def test_all_keys_covers_database(self):
+        ks = KeySpace(10)
+        assert len(ks.all_keys()) == 10
+
+    def test_initially_maps_into_set_a(self):
+        ks = KeySpace(100)
+        assert ks.active_keys() == [ks.key_for_id(i) for i in range(50)]
+
+    def test_custom_prefix(self):
+        ks = KeySpace(10, prefix="item")
+        assert ks.key(0).startswith("item")
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            KeySpace(3)  # odd
+        with pytest.raises(WorkloadError):
+            KeySpace(0)
+        with pytest.raises(WorkloadError):
+            KeySpace(10).key_for_id(10)
+
+
+class TestSwitchFull:
+    def test_all_ranks_move_to_set_b(self):
+        ks = KeySpace(100)
+        before = set(ks.active_keys())
+        ks.switch_full()
+        after = set(ks.active_keys())
+        assert before.isdisjoint(after)
+        assert ks.switched_fraction == 1.0
+
+    def test_rank_order_preserved(self):
+        """Rank r maps to the B record corresponding to its A record: the
+        paper keeps 'the same distribution as to that in A'."""
+        ks = KeySpace(100)
+        ks.switch_full()
+        assert ks.key(0) == ks.key_for_id(50)
+
+
+class TestSwitchHottest:
+    def test_only_hottest_fraction_moves(self):
+        ks = KeySpace(100)
+        ks.switch_hottest(0.2)
+        moved = [r for r in range(50)
+                 if ks.key(r) != ks.key_for_id(r)]
+        assert moved == list(range(10))
+        assert ks.switched_fraction == 0.2
+
+    def test_switch_is_involutive(self):
+        ks = KeySpace(100)
+        ks.switch_hottest(0.2)
+        ks.switch_hottest(0.2)
+        assert ks.active_keys() == KeySpace(100).active_keys()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            KeySpace(100).switch_hottest(0.0)
+        with pytest.raises(WorkloadError):
+            KeySpace(100).switch_hottest(1.5)
+
+
+class TestReset:
+    def test_reset_restores_identity(self):
+        ks = KeySpace(100)
+        ks.switch_full()
+        ks.reset()
+        assert ks.active_keys() == KeySpace(100).active_keys()
+        assert ks.switched_fraction == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for trace records and open-loop replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.core import Simulator
+from repro.workload.trace import TraceRecord, TraceReplayer
+
+
+class FakeClient:
+    """Records session launch times; sessions take `latency` sim-seconds."""
+
+    def __init__(self, sim, latency=0.01, fail_keys=()):
+        self.sim = sim
+        self.latency = latency
+        self.fail_keys = set(fail_keys)
+        self.reads = []
+        self.writes = []
+
+    def read(self, key):
+        if key in self.fail_keys:
+            raise RuntimeError("session failed")
+        self.reads.append((self.sim.now, key))
+        yield self.latency
+
+    def write(self, key, size=None):
+        self.writes.append((self.sim.now, key, size))
+        yield self.latency
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        record = TraceRecord(time=1.0, op="read", key="k")
+        assert record.key == "k"
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(time=1.0, op="scan", key="k")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(time=-1.0, op="read", key="k")
+
+
+class TestReplay:
+    def test_sessions_launch_at_trace_times(self, sim):
+        client = FakeClient(sim)
+        replayer = TraceReplayer(sim, client)
+        replayer.start([
+            TraceRecord(time=1.0, op="read", key="a"),
+            TraceRecord(time=2.5, op="write", key="b", size=10),
+        ])
+        sim.run()
+        assert client.reads == [(1.0, "a")]
+        assert client.writes == [(2.5, "b", 10)]
+        assert replayer.launched == 2
+
+    def test_open_loop_overlaps_sessions(self, sim):
+        client = FakeClient(sim, latency=10.0)  # sessions far outlast gaps
+        replayer = TraceReplayer(sim, client)
+        replayer.start([TraceRecord(time=0.1 * i, op="read", key=f"k{i}")
+                        for i in range(5)])
+        sim.run()
+        launch_times = [t for t, __ in client.reads]
+        assert launch_times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_in_flight_bounded(self, sim):
+        client = FakeClient(sim, latency=100.0)
+        replayer = TraceReplayer(sim, client, max_in_flight=3)
+        replayer.start([TraceRecord(time=0.0, op="read", key=f"k{i}")
+                        for i in range(10)])
+        sim.run(until=1.0)
+        assert len(client.reads) == 3
+        assert replayer.dropped == 7
+
+    def test_session_errors_counted_not_fatal(self, sim):
+        client = FakeClient(sim, fail_keys={"bad"})
+        replayer = TraceReplayer(sim, client)
+        replayer.start([
+            TraceRecord(time=0.0, op="read", key="bad"),
+            TraceRecord(time=0.1, op="read", key="good"),
+        ])
+        sim.run()
+        assert replayer.errors == 1
+        assert [k for __, k in client.reads] == ["good"]
+
+    def test_pick_client_routes_records(self, sim):
+        a = FakeClient(sim)
+        b = FakeClient(sim)
+        replayer = TraceReplayer(
+            sim, a, pick_client=lambda r: b if r.key == "to-b" else a)
+        replayer.start([
+            TraceRecord(time=0.0, op="read", key="to-b"),
+            TraceRecord(time=0.1, op="read", key="to-a"),
+        ])
+        sim.run()
+        assert [k for __, k in b.reads] == ["to-b"]
+        assert [k for __, k in a.reads] == ["to-a"]

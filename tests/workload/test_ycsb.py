@@ -1,0 +1,77 @@
+"""Unit tests for the YCSB workload generator."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WorkloadSpec,
+    YcsbWorkload,
+)
+
+
+class TestSpecs:
+    def test_workload_a_is_half_updates(self):
+        assert WORKLOAD_A.read_fraction == 0.5
+        assert WORKLOAD_A.update_fraction == 0.5
+
+    def test_workload_b_is_five_percent_updates(self):
+        assert WORKLOAD_B.read_fraction == 0.95
+
+    def test_update_sweep(self):
+        spec = WORKLOAD_B.with_update_fraction(0.03)
+        assert spec.read_fraction == pytest.approx(0.97)
+        assert "u3%" in spec.name
+
+    def test_with_records(self):
+        spec = WORKLOAD_B.with_records(1000, record_size=512)
+        assert spec.record_count == 1000
+        assert spec.record_size == 512
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="bad", read_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WORKLOAD_B.with_update_fraction(-0.1)
+
+
+class TestGenerator:
+    def make(self, spec=None, seed=1):
+        spec = spec if spec is not None else WORKLOAD_B.with_records(100)
+        return YcsbWorkload(spec, random.Random(seed))
+
+    def test_op_mix_close_to_spec(self):
+        workload = self.make(WORKLOAD_A.with_records(100))
+        ops = [workload.next_op()[0] for __ in range(10_000)]
+        read_fraction = ops.count("read") / len(ops)
+        assert read_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_keys_come_from_active_set(self):
+        workload = self.make()
+        active = set(workload.keyspace.active_keys())
+        for __ in range(500):
+            __, key = workload.next_op()
+            assert key in active
+
+    def test_deterministic_given_seed(self):
+        a = [self.make(seed=3).next_op() for __ in range(20)]
+        b = [self.make(seed=3).next_op() for __ in range(20)]
+        assert a == b
+
+    def test_populate_loads_whole_database(self, sim):
+        from repro.datastore.store import DataStore
+        workload = self.make()
+        store = DataStore(sim)
+        workload.populate(store)
+        assert len(store) == 100
+        assert store.record_size(workload.keyspace.key(0)) == 1024
+
+    def test_skew_prefers_hot_keys(self):
+        workload = self.make()
+        hot_key = workload.keyspace.key(0)
+        hits = sum(1 for __ in range(2_000)
+                   if workload.next_op()[1] == hot_key)
+        assert hits > 50  # far above uniform (20)
