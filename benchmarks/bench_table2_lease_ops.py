@@ -87,6 +87,25 @@ def bench_redlease_cycle(benchmark):
 
 
 @pytest.mark.benchmark(group="table2-leases")
+def bench_redlease_expiry_takeover(benchmark):
+    """Worker-crash handoff (Section 3.3): grant over an expired,
+    never-released lease. Reports the takeover count so the overhead
+    table shows how many handoffs the run exercised."""
+    now = [0.0]
+    red = Redlease(lambda: now[0], lifetime=1.0)
+
+    def cycle():
+        red.acquire("dirty-list-0")
+        now[0] += 1.5  # the holder dies; the lease expires unreleased
+        red.acquire("dirty-list-0")
+        red.clear()
+
+    benchmark(cycle)
+    assert red.takeovers > 0
+    benchmark.extra_info["takeovers"] = red.takeovers
+
+
+@pytest.mark.benchmark(group="table2-leases")
 def bench_instance_iqget_hit_path(benchmark):
     """Whole-instance hot path: a hit under the config-id check."""
     sim = Simulator()

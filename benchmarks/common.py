@@ -10,7 +10,7 @@ fall), and reports the run's wall time through pytest-benchmark.
 from __future__ import annotations
 
 import pathlib
-from typing import Callable
+from typing import Callable, Dict
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -31,6 +31,101 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(banner + text + "\n")
+
+
+def run_bulk_repair(policy, *, dirty_keys: int = 10_000, seed: int = 7,
+                    records: int = 400, threads: int = 2,
+                    fail_at: float = 1.0, outage: float = 1.0,
+                    tail: float = 25.0, value_size: int = 64) -> Dict:
+    """Micro-harness for the batched-repair benchmarks.
+
+    Builds a two-instance cluster under light YCSB load, fails ``cache-0``
+    (emulated), fabricates a ``dirty_keys``-entry dirty list on the
+    surviving secondary mid-outage (direct state injection — driving that
+    many write sessions through the simulator would dominate the run the
+    way warm-up would), then measures the simulated time from instance
+    recovery until the fragment returns to normal mode. That interval is
+    dominated by the recovery worker's repair pass, so it isolates the
+    effect of ``policy.batch_size`` / ``policy.max_inflight``.
+    """
+    from repro.cache.instance import CacheOp
+    from repro.config.hashing import fragment_for_key
+    from repro.harness.cluster import ClusterSpec, GeminiCluster
+    from repro.harness.experiment import Experiment
+    from repro.sim.failures import FailureSchedule
+    from repro.types import FragmentMode, Value
+    from repro.workload.ycsb import WORKLOAD_B, ClosedLoopThread, YcsbWorkload
+
+    spec = ClusterSpec(
+        num_instances=2, fragments_per_instance=1, num_clients=2,
+        num_workers=2, policy=policy, seed=seed)
+    cluster = GeminiCluster(spec)
+    workload = YcsbWorkload(
+        WORKLOAD_B.with_records(records).with_update_fraction(0.05),
+        cluster.rng.stream("load"))
+    workload.populate(cluster.datastore)
+    cluster.warm_cache(workload.keyspace.active_keys())
+
+    config = cluster.coordinator.current
+    fragment_id = next(f.fragment_id for f in config.fragments
+                       if f.primary == "cache-0")
+    pre_failure_cfg = config.fragment(fragment_id).cfg_id
+    # Keys that route to the failed fragment ("bulk..." so the YCSB load
+    # never touches them and the repair path alone handles them).
+    bulk = []
+    index = 0
+    while len(bulk) < dirty_keys:
+        key = f"bulk{index:08d}"
+        if fragment_for_key(key, config.num_fragments) == fragment_id:
+            bulk.append(key)
+        index += 1
+
+    def fabricate():
+        current = cluster.coordinator.current
+        fragment = current.fragment(fragment_id)
+        if fragment.mode is not FragmentMode.TRANSIENT:
+            raise RuntimeError("fragment left transient mode before "
+                               "the dirty list could be fabricated")
+        primary = cluster.instances["cache-0"]
+        secondary = cluster.instances[fragment.secondary]
+        for key in bulk:
+            # Stale pre-failure copy in the recovering primary...
+            primary._store(key, Value(version=1, size=value_size),
+                           pre_failure_cfg, value_size)
+            # ...a fresh copy in the secondary (the Gemini-O source)...
+            secondary._store(key, Value(version=2, size=value_size),
+                             current.config_id, value_size)
+            # ...and the dirty-list entry that dooms the stale copy.
+            secondary.op_append_dirty(CacheOp(
+                op="append_dirty", fragment_id=fragment_id, key=key,
+                client_cfg_id=current.config_id))
+
+    cluster.sim.schedule_at(fail_at + outage / 2, fabricate)
+    experiment = Experiment(
+        cluster, duration=fail_at + outage + tail,
+        failures=[FailureSchedule(at=fail_at, duration=outage,
+                                  targets=["cache-0"], emulated=True)])
+    for index in range(threads):
+        experiment.add_load(ClosedLoopThread(
+            cluster.sim, cluster.clients[index % len(cluster.clients)],
+            workload, name=f"bulk-{index}"))
+    result = experiment.run()
+    # The experiment's own recovery_time is quantized by its 1 s sampler;
+    # the coordinator's transition log has the exact dirty-done commit.
+    recovered_at = fail_at + outage
+    done_times = [t for (t, kind, what, __) in cluster.coordinator.transitions
+                  if kind == "dirty-done" and what == fragment_id
+                  and t >= recovered_at]
+    repair = min(done_times) - recovered_at if done_times else None
+    summary = cluster.recovery_recorder.summary()
+    return {
+        "repair": repair,
+        "stale": result.oracle.stale_reads,
+        "reads_checked": result.oracle.reads_checked,
+        "keys_repaired": summary["keys_repaired"],
+        "batches": summary["batches"],
+        "max_inflight": summary["max_inflight"],
+    }
 
 
 def series_window(series, start: float, end: float):

@@ -16,9 +16,10 @@ overwriting a dirty key once repairs it for all the writes it absorbed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
-__all__ = ["DirtyList", "dirty_list_key", "DIRTY_LIST_PREFIX"]
+__all__ = ["DirtyList", "DirtyPage", "dirty_list_key", "DIRTY_LIST_PREFIX"]
 
 DIRTY_LIST_PREFIX = "__gemini:dirty:"
 
@@ -33,16 +34,38 @@ def dirty_list_key(fragment_id: int) -> str:
     return f"{DIRTY_LIST_PREFIX}{fragment_id}"
 
 
-class DirtyList:
-    """An ordered, deduplicated set of dirty keys plus the eviction marker."""
+@dataclass(frozen=True)
+class DirtyPage:
+    """One chunk of a dirty list, fetched via ``op_get_dirty_page``.
 
-    __slots__ = ("fragment_id", "marker", "_keys", "_size")
+    ``cursor`` is the sequence number of the last key in the page; passing
+    it back as ``after`` resumes the scan even if earlier keys were
+    concurrently repaired (and removed) in the meantime.
+    """
+
+    keys: Tuple[str, ...]
+    cursor: int
+    more: bool
+    complete: bool
+
+
+class DirtyList:
+    """An ordered, deduplicated set of dirty keys plus the eviction marker.
+
+    Each key carries a monotonically increasing sequence number assigned
+    at first insertion; :meth:`page` scans in sequence order, which makes
+    chunked fetches robust against concurrent :meth:`discard` calls (a
+    removed cursor key cannot shift the remaining keys' positions).
+    """
+
+    __slots__ = ("fragment_id", "marker", "_keys", "_size", "_next_seq")
 
     def __init__(self, fragment_id: int, marker: bool):
         self.fragment_id = fragment_id
         self.marker = marker
-        self._keys: Dict[str, None] = {}
+        self._keys: Dict[str, int] = {}
         self._size = _BASE_SIZE
+        self._next_seq = 0
 
     @property
     def complete(self) -> bool:
@@ -56,7 +79,8 @@ class DirtyList:
 
     def append(self, key: str) -> None:
         if key not in self._keys:
-            self._keys[key] = None
+            self._next_seq += 1
+            self._keys[key] = self._next_seq
             self._size += len(key) + _PER_KEY_OVERHEAD
 
     def discard(self, key: str) -> bool:
@@ -69,6 +93,26 @@ class DirtyList:
     def keys(self) -> List[str]:
         """Snapshot of the dirty keys in insertion order."""
         return list(self._keys)
+
+    def page(self, after: int, limit: int) -> DirtyPage:
+        """Fetch up to ``limit`` keys with sequence numbers > ``after``.
+
+        Insertion order equals sequence order (re-appends keep the
+        original number), so a plain in-order scan suffices.
+        """
+        keys: List[str] = []
+        cursor = after
+        more = False
+        for key, seq in self._keys.items():
+            if seq <= after:
+                continue
+            if len(keys) == limit:
+                more = True
+                break
+            keys.append(key)
+            cursor = seq
+        return DirtyPage(keys=tuple(keys), cursor=cursor, more=more,
+                         complete=self.complete)
 
     def __contains__(self, key: str) -> bool:
         return key in self._keys

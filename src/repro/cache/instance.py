@@ -22,14 +22,19 @@ baseline wipes them via :meth:`wipe`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.cache.dirtylist import DirtyList, dirty_list_key
 from repro.cache.entry import CacheEntry
 from repro.cache.eviction import EvictionPolicy, LruPolicy
 from repro.cache.leases import LeaseTable, Redlease
-from repro.errors import CacheError, InstanceDown, StaleConfiguration
+from repro.errors import (
+    CacheError,
+    InstanceDown,
+    LeaseBackoff,
+    StaleConfiguration,
+)
 from repro.sim.core import Simulator
 from repro.sim.network import RemoteNode
 from repro.types import CACHE_MISS
@@ -62,6 +67,8 @@ class CacheOp:
     fragment_cfg_id: int = 0
     client_cfg_id: int = 0
     payload: Any = None
+    #: Key list for the multi-key ops (mget/mdelete/batch_iset).
+    keys: Optional[Sequence[str]] = None
     #: write_cfg_id tags the entry produced by this op; defaults to
     #: client_cfg_id when unset.
     write_cfg_id: Optional[int] = None
@@ -123,6 +130,15 @@ class CacheInstance(RemoteNode):
     # RemoteNode plumbing
     # ------------------------------------------------------------------
     def service_time(self, request: CacheOp) -> float:
+        # Multi-key ops cost one base unit per key touched: batching
+        # amortizes network round trips, not server CPU.
+        if request.keys is not None:
+            return self.base_service_time * max(1, len(request.keys))
+        if request.op == "batch_iqset" and request.payload:
+            return self.base_service_time * len(request.payload)
+        if request.op == "get_dirty_page" and request.payload:
+            return self.base_service_time * max(
+                1, int(request.payload.get("limit", 1)))
         return self.base_service_time
 
     def handle_request(self, request: CacheOp) -> Any:
@@ -264,6 +280,75 @@ class CacheInstance(RemoteNode):
         return self._remove(request.key)
 
     # ------------------------------------------------------------------
+    # Multi-key ops (batched recovery, Section 3.2.3 extension)
+    # ------------------------------------------------------------------
+    def op_mget(self, request: CacheOp) -> Dict[str, Any]:
+        """Lease-free read of many keys; missing keys map to CACHE_MISS."""
+        out: Dict[str, Any] = {}
+        for key in request.keys:
+            self.stats.gets += 1
+            entry = self._lookup(key, request.fragment_cfg_id)
+            if entry is None:
+                self.stats.misses += 1
+                out[key] = CACHE_MISS
+            else:
+                self.stats.hits += 1
+                out[key] = entry.value
+        return out
+
+    def op_mdelete(self, request: CacheOp) -> int:
+        """Delete many keys; returns how many were actually present."""
+        removed = 0
+        for key in request.keys:
+            self.stats.deletes += 1
+            if self._remove(key):
+                removed += 1
+        return removed
+
+    def op_batch_iset(self, request: CacheOp) -> Dict[str, Optional[int]]:
+        """Per-key ``iset``: delete the key and acquire an I lease on it.
+
+        Keys whose I lease cannot be granted (a client session owns them)
+        map to ``None`` — the batch does not back off as a whole.
+        """
+        tokens: Dict[str, Optional[int]] = {}
+        for key in request.keys:
+            try:
+                lease = self.leases.acquire_i(key)
+            except LeaseBackoff:
+                tokens[key] = None
+                continue
+            if self._remove(key):
+                self.stats.deletes += 1
+            tokens[key] = lease.token
+        return tokens
+
+    def op_batch_iqset(self, request: CacheOp) -> Dict[str, bool]:
+        """Per-key ``iqset`` with per-key lease tokens.
+
+        ``payload`` is a sequence of ``(key, value, token)`` triples. A
+        value of CACHE_MISS means "release and delete" (the batched
+        equivalent of ``idelete`` — the secondary had no copy either).
+        """
+        results: Dict[str, bool] = {}
+        for key, value, token in request.payload:
+            if value is CACHE_MISS:
+                released = self.leases.release_i(key, token)
+                if self._remove(key):
+                    self.stats.deletes += 1
+                results[key] = released
+                continue
+            if not self.leases.check_i(key, token):
+                results[key] = False
+                continue
+            self.leases.release_i(key, token)
+            self.stats.sets += 1
+            size = getattr(value, "size", 0)
+            self._store(key, value, request.tag(), size)
+            results[key] = True
+        return results
+
+    # ------------------------------------------------------------------
     # IQ protocol
     # ------------------------------------------------------------------
     def op_iqget(self, request: CacheOp) -> Tuple[str, Any]:
@@ -369,6 +454,20 @@ class CacheInstance(RemoteNode):
             return CACHE_MISS
         self.policy.on_access(entry.key)
         return entry.value
+
+    def op_get_dirty_page(self, request: CacheOp) -> Any:
+        """Fetch one chunk of the dirty list (cursor-based pagination).
+
+        ``payload`` is ``{"after": seq, "limit": n}``; returns a
+        :class:`~repro.cache.dirtylist.DirtyPage` or CACHE_MISS if the
+        list was evicted.
+        """
+        entry = self._entries.get(dirty_list_key(request.fragment_id))
+        if entry is None:
+            return CACHE_MISS
+        self.policy.on_access(entry.key)
+        return entry.value.page(request.payload.get("after", 0),
+                                request.payload.get("limit", 64))
 
     def op_remove_dirty_key(self, request: CacheOp) -> bool:
         """Drop one repaired key from the list (Algorithm 1 line 8)."""

@@ -176,6 +176,15 @@ class Redlease:
         self._tokens = itertools.count(1)
         self.granted = 0
         self.backoffs = 0
+        #: Grants that displaced an expired-but-unreleased lease (a
+        #: worker died mid-pass and another took over after expiry).
+        self.takeovers = 0
+
+    def _gc(self, now: float) -> None:
+        """Drop every expired lease (lazy: runs on each acquire)."""
+        dead = [r for r, lease in self._held.items() if not lease.alive(now)]
+        for resource in dead:
+            del self._held[resource]
 
     def acquire(self, resource: str) -> Lease:
         now = self._clock()
@@ -183,6 +192,10 @@ class Redlease:
         if lease is not None and lease.alive(now):
             self.backoffs += 1
             raise LeaseBackoff(resource, f"Redlease held on {resource!r}")
+        if lease is not None:
+            # Expired but never released: the previous holder died.
+            self.takeovers += 1
+        self._gc(now)
         lease = Lease(LeaseKind.RED, resource, next(self._tokens), now,
                       now + self.lifetime)
         self._held[resource] = lease

@@ -26,7 +26,6 @@ from repro.cache.instance import CacheInstance, CacheOp
 from repro.errors import NetworkError, StaleConfiguration
 from repro.sim.core import Simulator
 from repro.sim.network import Network
-from repro.types import CACHE_MISS
 
 __all__ = ["SyncStrategy", "MirroredReplicaGroup"]
 

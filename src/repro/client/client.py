@@ -13,7 +13,7 @@ serving replica.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set
 
 from repro.cache.instance import CacheOp
 from repro.client.routing import ConfigCache
@@ -105,9 +105,22 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # RPC helpers
     # ------------------------------------------------------------------
-    def _op(self, op: str, **fields) -> CacheOp:
-        fields.setdefault("client_cfg_id", self.cache.config_id)
-        return CacheOp(op=op, **fields)
+    def _op(self, op: str, cfg_id: int, **fields) -> CacheOp:
+        """Build a cache op stamped with the *session's* configuration id.
+
+        The id is captured when the session routes (Rejig, Section 4): a
+        session that straddles a configuration change keeps stamping the
+        id its routing decision was based on, so the first op that
+        reaches an instance which already adopted a newer configuration
+        bounces with StaleConfiguration and the session retries under
+        the new routing. Stamping the client's *current* id instead
+        would let a session that started in transient mode complete
+        against the secondary after the fragment moved to recovery mode
+        — its quarantine then never reaches the primary's lease table,
+        and a concurrent recovery-mode reader can resurrect the
+        pre-write value into the primary (a read-after-write violation).
+        """
+        return CacheOp(op=op, client_cfg_id=cfg_id, **fields)
 
     @staticmethod
     def _suspect(fragment) -> Optional[str]:
@@ -167,8 +180,10 @@ class GeminiClient:
         unreachable_strikes = 0
         for attempt in range(1, self.MAX_ATTEMPTS + 1):
             fragment = self.cache.route(key)
+            cfg = self.cache.config_id
             try:
-                value, hit, instance = yield from self._read_once(fragment, key)
+                value, hit, instance = yield from self._read_once(
+                    fragment, key, cfg)
                 break
             except LeaseBackoff:
                 if self.recorder is not None:
@@ -206,14 +221,19 @@ class GeminiClient:
     def write(self, key: str, size: Optional[int] = None):
         """Write-around write session. Returns the committed Value."""
         start = self.sim.now
-        store_done = False
+        # Mutable so that store progress survives a bounced attempt: a
+        # StaleConfiguration after the data-store transaction must not
+        # make the retry issue a second transaction (sessions owe the
+        # store at most one).
+        session = {"store_done": False, "value": None}
         value: Optional[Value] = None
         suspended = 0.0
         for attempt in range(1, self.MAX_ATTEMPTS + 1):
             fragment = self.cache.route(key)
+            cfg = self.cache.config_id
             try:
-                value, store_done = yield from self._write_once(
-                    fragment, key, size, store_done, value)
+                yield from self._write_once(fragment, key, cfg, size, session)
+                value = session["value"]
                 break
             except LeaseBackoff:
                 if self.recorder is not None:
@@ -249,43 +269,44 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Read paths
     # ------------------------------------------------------------------
-    def _read_once(self, fragment, key: str):
+    def _read_once(self, fragment, key: str, cfg: int):
         if fragment.mode is FragmentMode.RECOVERY:
-            return (yield from self._read_recovery(fragment, key))
+            return (yield from self._read_recovery(fragment, key, cfg))
         target = fragment.serving_replica()
-        return (yield from self._read_via(target, fragment, key))
+        return (yield from self._read_via(target, fragment, key, cfg))
 
-    def _read_via(self, target: str, fragment, key: str):
+    def _read_via(self, target: str, fragment, key: str, cfg: int):
         """Normal/transient read: iqget, fill on miss (IQ protocol)."""
         outcome = yield self.network.call(
-            target, self._op("iqget", key=key,
+            target, self._op("iqget", cfg, key=key,
                              fragment_cfg_id=fragment.cfg_id))
         if outcome[0] == "hit":
             return outcome[1], True, target
         token = outcome[1]
         value = yield from self._store_read(key)
-        yield from self._fill(target, fragment, key, value, token)
+        yield from self._fill(target, fragment, key, cfg, value, token)
         return value, False, target
 
-    def _fill(self, target: str, fragment, key: str, value: Value,
+    def _fill(self, target: str, fragment, key: str, cfg: int, value: Value,
               token: int):
         """Best-effort iqset: the value is already in hand, so a failed or
         bounced fill only costs a future cache miss."""
         try:
             yield self.network.call(
-                target, self._op("iqset", key=key, value=value, token=token,
+                target, self._op("iqset", cfg, key=key, value=value,
+                                 token=token,
                                  fragment_cfg_id=fragment.cfg_id))
         except (StaleConfiguration, *_UNREACHABLE):
             pass
 
-    def _read_recovery(self, fragment, key: str):
+    def _read_recovery(self, fragment, key: str, cfg: int):
         """Algorithm 1: reads against a fragment in recovery mode."""
-        dirty = yield from self._ensure_dirty(fragment)
+        dirty = yield from self._ensure_dirty(fragment, cfg)
         primary = fragment.primary
         if key in dirty:
             try:
                 token = yield self.network.call(
-                    primary, self._op("iset", key=key,
+                    primary, self._op("iset", cfg, key=key,
                                       fragment_cfg_id=fragment.cfg_id))
             except LeaseBackoff:
                 # Someone else is repairing this key right now; it is no
@@ -296,7 +317,7 @@ class GeminiClient:
             dirty.discard(key)
         else:
             outcome = yield self.network.call(
-                primary, self._op("iqget", key=key,
+                primary, self._op("iqget", cfg, key=key,
                                   fragment_cfg_id=fragment.cfg_id))
             if outcome[0] == "hit":
                 return outcome[1], True, primary
@@ -306,18 +327,20 @@ class GeminiClient:
             try:
                 found = yield self.network.call(
                     fragment.secondary,
-                    self._op("get", key=key, fragment_cfg_id=fragment.cfg_id))
+                    self._op("get", cfg, key=key,
+                             fragment_cfg_id=fragment.cfg_id))
             except (StaleConfiguration, *_UNREACHABLE):
                 found = CACHE_MISS
             self.wst.observe(primary, found is not CACHE_MISS)
             if found is not CACHE_MISS:
-                yield from self._fill(primary, fragment, key, found, token)
+                yield from self._fill(primary, fragment, key, cfg, found,
+                                      token)
                 return found, True, primary
         value = yield from self._store_read(key)
-        yield from self._fill(primary, fragment, key, value, token)
+        yield from self._fill(primary, fragment, key, cfg, value, token)
         return value, False, primary
 
-    def _ensure_dirty(self, fragment) -> Any:
+    def _ensure_dirty(self, fragment, cfg: int) -> Any:
         """Fetch (once) the dirty list for a recovery-mode fragment.
 
         Falls back to the coordinator's copy when the secondary lost it
@@ -330,7 +353,8 @@ class GeminiClient:
             try:
                 dirty_value = yield self.network.call(
                     fragment.secondary,
-                    self._op("get_dirty", fragment_id=fragment.fragment_id))
+                    self._op("get_dirty", cfg,
+                             fragment_id=fragment.fragment_id))
             except (StaleConfiguration, *_UNREACHABLE):
                 dirty_value = CACHE_MISS
         if dirty_value is not CACHE_MISS and dirty_value.complete:
@@ -350,66 +374,66 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Write paths
     # ------------------------------------------------------------------
-    def _write_once(self, fragment, key: str, size: Optional[int],
-                    store_done: bool, value: Optional[Value]
-                    ) -> Tuple[Value, bool]:
+    def _write_once(self, fragment, key: str, cfg: int, size: Optional[int],
+                    session: Dict[str, Any]):
         if fragment.mode is FragmentMode.NORMAL:
-            return (yield from self._write_normal(fragment, key, size,
-                                                  store_done, value))
-        if fragment.mode is FragmentMode.TRANSIENT:
-            return (yield from self._write_transient(fragment, key, size,
-                                                     store_done, value))
-        return (yield from self._write_recovery(fragment, key, size,
-                                                store_done, value))
+            yield from self._write_normal(fragment, key, cfg, size, session)
+        elif fragment.mode is FragmentMode.TRANSIENT:
+            yield from self._write_transient(fragment, key, cfg, size, session)
+        else:
+            yield from self._write_recovery(fragment, key, cfg, size, session)
 
-    def _write_normal(self, fragment, key, size, store_done, value):
+    def _store_once(self, key: str, size: Optional[int],
+                    session: Dict[str, Any]):
+        """Issue the session's single data-store transaction (idempotent
+        across retries — progress is recorded in ``session`` so a bounce
+        *after* the transaction cannot re-issue it)."""
+        if not session["store_done"]:
+            session["value"] = yield from self._store_write(key, size)
+            session["store_done"] = True
+
+    def _write_normal(self, fragment, key, cfg, size, session):
         target = fragment.primary
         token = yield self.network.call(
-            target, self._op("qareg", key=key,
+            target, self._op("qareg", cfg, key=key,
                              fragment_cfg_id=fragment.cfg_id))
-        if not store_done:
-            value = yield from self._store_write(key, size)
-            store_done = True
+        yield from self._store_once(key, size, session)
         yield self.network.call(
-            target, self._op("dar", key=key, token=token,
+            target, self._op("dar", cfg, key=key, token=token,
                              fragment_cfg_id=fragment.cfg_id))
-        return value, store_done
 
-    def _write_transient(self, fragment, key, size, store_done, value):
+    def _write_transient(self, fragment, key, cfg, size, session):
         """Transient mode (Section 3.1): write to the secondary and log
         the key in the fragment's dirty list before touching the store."""
         target = fragment.secondary
         if target is None:
             raise FragmentUnavailable(fragment.fragment_id)
         token = yield self.network.call(
-            target, self._op("qareg", key=key,
+            target, self._op("qareg", cfg, key=key,
                              fragment_cfg_id=fragment.cfg_id))
         if self.policy.maintain_dirty:
             complete = yield self.network.call(
-                target, self._op("append_dirty",
+                target, self._op("append_dirty", cfg,
                                  fragment_id=fragment.fragment_id, key=key))
             if not complete:
                 # The marker is gone: the list was evicted and recreated.
                 self._notify_dirty_lost(fragment.fragment_id)
-        if not store_done:
-            value = yield from self._store_write(key, size)
-            store_done = True
+        yield from self._store_once(key, size, session)
         yield self.network.call(
-            target, self._op("dar", key=key, token=token,
+            target, self._op("dar", cfg, key=key, token=token,
                              fragment_cfg_id=fragment.cfg_id))
-        return value, store_done
 
-    def _write_recovery(self, fragment, key, size, store_done, value):
+    def _write_recovery(self, fragment, key, cfg, size, session):
         """Algorithm 2 + Section 3.2.1: delete in BOTH replicas."""
         primary = fragment.primary
         token = yield self.network.call(
-            primary, self._op("qareg", key=key,
+            primary, self._op("qareg", cfg, key=key,
                               fragment_cfg_id=fragment.cfg_id))
         if fragment.secondary is not None:
             try:
                 yield self.network.call(
                     fragment.secondary,
-                    self._op("delete", key=key,
+                    self._op("delete", cfg, key=key,
                              fragment_cfg_id=fragment.cfg_id))
             except _UNREACHABLE:
                 pass  # a dead secondary no longer serves reads
@@ -417,14 +441,11 @@ class GeminiClient:
             # still a repair source, and leaving a stale copy there lets a
             # recovery worker resurrect it into the primary. The session
             # retries the whole invalidation under the fresh configuration.
-        if not store_done:
-            value = yield from self._store_write(key, size)
-            store_done = True
+        yield from self._store_once(key, size, session)
         yield self.network.call(
-            primary, self._op("dar", key=key, token=token,
+            primary, self._op("dar", cfg, key=key, token=token,
                               fragment_cfg_id=fragment.cfg_id))
         # This write repaired the key; drop it from our dirty view.
         local = self._dirty.get(fragment.fragment_id)
         if local is not None:
             local.discard(key)
-        return value, store_done

@@ -12,7 +12,7 @@ subscriptions. Clients resolve the active coordinator through
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.coordinator.coordinator import Coordinator
 from repro.errors import CoordinatorError

@@ -20,7 +20,7 @@ oracle subscribes to commits to later judge read staleness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import CacheError
 from repro.sim.core import Simulator

@@ -9,7 +9,7 @@ subscriptions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cache.eviction import make_policy
@@ -22,6 +22,7 @@ from repro.coordinator.shadow import CoordinatorEnsemble
 from repro.datastore.store import DataStore
 from repro.errors import SimulationError
 from repro.metrics.recorder import OpRecorder
+from repro.metrics.recovery import RecoveryRecorder
 from repro.recovery.policies import GEMINI_O_W, RecoveryPolicy
 from repro.recovery.worker import RecoveryWorker
 from repro.sim.core import Simulator
@@ -81,6 +82,7 @@ class GeminiCluster:
                          base=spec.latency_base, jitter=spec.latency_jitter))
         self.oracle = ConsistencyOracle(strict=spec.strict_oracle)
         self.recorder = OpRecorder()
+        self.recovery_recorder = RecoveryRecorder()
         self.datastore = DataStore(
             self.sim, "datastore",
             read_service_time=spec.datastore_read_time,
@@ -135,7 +137,8 @@ class GeminiCluster:
             worker = RecoveryWorker(
                 self.sim, self.network, spec.policy,
                 name=f"worker-{index}",
-                rng=self.rng.stream(f"worker-{index}"))
+                rng=self.rng.stream(f"worker-{index}"),
+                recovery_recorder=self.recovery_recorder)
             worker.on_config(self.coordinator.current)
             self.coordinator.subscribe(worker.on_config)
             self.workers.append(worker)

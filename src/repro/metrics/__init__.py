@@ -3,11 +3,14 @@
 from repro.metrics.series import TimeSeries, WindowedCounter
 from repro.metrics.latency import LatencyReservoir, percentile
 from repro.metrics.recorder import OpRecorder
+from repro.metrics.recovery import FragmentRepairStats, RecoveryRecorder
 from repro.metrics.report import format_table, render_series
 
 __all__ = [
+    "FragmentRepairStats",
     "LatencyReservoir",
     "OpRecorder",
+    "RecoveryRecorder",
     "TimeSeries",
     "WindowedCounter",
     "format_table",

@@ -40,6 +40,11 @@ class TimeSeries:
         """(bucket start time, observations per second)."""
         return [(t, c / self.bucket_width) for t, c in self.counts()]
 
+    def sums(self) -> List[Tuple[float, float]]:
+        """(bucket start time, summed observed value)."""
+        return [(b * self.bucket_width, s)
+                for b, s in sorted(self._sum.items())]
+
     def means(self) -> List[Tuple[float, float]]:
         """(bucket start time, mean observed value)."""
         out = []

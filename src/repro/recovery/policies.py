@@ -16,7 +16,7 @@ it to decide behaviour. Policies are frozen so they can be shared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 __all__ = [
@@ -47,10 +47,19 @@ class RecoveryPolicy:
     wst_hit_threshold: Optional[float] = None
     #: Tolerance ε in the h / m = 1 - h + ε termination thresholds.
     wst_epsilon: float = 0.02
+    #: Keys per batched repair operation; 1 = the sequential per-key
+    #: protocol of Algorithm 3.
+    batch_size: int = 32
+    #: Bound on concurrently in-flight repair batches per fragment.
+    max_inflight: int = 4
 
     def __post_init__(self):
         if self.kind not in ("gemini", "stale", "volatile"):
             raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         if self.kind != "gemini" and (self.maintain_dirty
                                       or self.working_set_transfer):
             raise ValueError(
@@ -63,6 +72,14 @@ class RecoveryPolicy:
     @property
     def is_gemini(self) -> bool:
         return self.kind == "gemini"
+
+    def with_batching(self, batch_size: int,
+                      max_inflight: Optional[int] = None) -> "RecoveryPolicy":
+        """Derive the same policy with different repair-batching knobs
+        (``batch_size=1, max_inflight=1`` is the sequential baseline)."""
+        return replace(self, batch_size=batch_size,
+                       max_inflight=(max_inflight if max_inflight is not None
+                                     else self.max_inflight))
 
 
 GEMINI_I = RecoveryPolicy(

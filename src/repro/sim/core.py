@@ -187,10 +187,14 @@ class Process(Event):
         """Inject an :class:`~repro.errors.Interrupt` into the process.
 
         The interrupt is raised at the process's current (or next) yield
-        point. Interrupting a finished process is a no-op.
+        point. Interrupting a finished process is a no-op, and so is a
+        second interrupt before the first one is delivered: the first
+        cause wins and no redundant delivery is scheduled.
         """
         if self.triggered:
             return
+        if self._interrupt_cause is not _PENDING:
+            return  # an interrupt is already in flight; first cause wins
         self._interrupt_cause = cause
         self._wait_epoch += 1  # cancel any in-flight sleep timer
         waiting, self._waiting_on = self._waiting_on, None

@@ -1,0 +1,154 @@
+"""Unit tests for the multi-key cache ops backing batched recovery
+(mget/mdelete/batch_iset/batch_iqset) and chunked dirty-list fetches."""
+
+import pytest
+
+from repro.cache.instance import CacheInstance, CacheOp
+from repro.types import CACHE_MISS, Value
+
+
+@pytest.fixture
+def instance(sim):
+    return CacheInstance(sim, "cache-0", memory_bytes=100_000)
+
+
+def call(instance, op, **fields):
+    return instance.handle_request(CacheOp(op=op, **fields))
+
+
+class TestMget:
+    def test_present_and_missing_keys(self, instance):
+        call(instance, "set", key="a", value=Value(1, 10))
+        call(instance, "set", key="b", value=Value(2, 10))
+        out = call(instance, "mget", keys=["a", "b", "c"])
+        assert out["a"].version == 1
+        assert out["b"].version == 2
+        assert out["c"] is CACHE_MISS
+
+    def test_counts_per_key_hits_and_misses(self, instance):
+        call(instance, "set", key="a", value=Value(1, 10))
+        call(instance, "mget", keys=["a", "b"])
+        assert instance.stats.hits == 1
+        assert instance.stats.misses == 1
+
+    def test_invalid_entries_report_miss(self, instance):
+        """Entries below the fragment's validity floor die on lookup,
+        exactly like single-key get (Section 3.2.4)."""
+        call(instance, "set", key="a", value=Value(1, 10), client_cfg_id=3)
+        out = call(instance, "mget", keys=["a"], fragment_cfg_id=5,
+                   client_cfg_id=5)
+        assert out["a"] is CACHE_MISS
+        assert instance.stats.invalid_discards == 1
+
+    def test_service_time_scales_with_keys(self, instance):
+        one = instance.service_time(CacheOp(op="mget", keys=["a"]))
+        many = instance.service_time(CacheOp(op="mget", keys=["a"] * 32))
+        assert many == pytest.approx(one * 32)
+
+
+class TestMdelete:
+    def test_removes_and_counts_present_keys(self, instance):
+        call(instance, "set", key="a", value=Value(1, 10))
+        call(instance, "set", key="b", value=Value(1, 10))
+        removed = call(instance, "mdelete", keys=["a", "b", "ghost"])
+        assert removed == 2
+        assert call(instance, "get", key="a") is CACHE_MISS
+        assert call(instance, "get", key="b") is CACHE_MISS
+
+
+class TestBatchIset:
+    def test_grants_tokens_and_deletes(self, instance):
+        call(instance, "set", key="a", value=Value(1, 10))
+        tokens = call(instance, "batch_iset", keys=["a", "b"])
+        assert tokens["a"] is not None and tokens["b"] is not None
+        # The stale copies are gone; the I leases are held.
+        assert call(instance, "get", key="a") is CACHE_MISS
+        assert instance.leases.check_i("a", tokens["a"])
+        assert instance.leases.check_i("b", tokens["b"])
+
+    def test_contended_key_skipped_not_backed_off(self, instance):
+        """A client session owning one key must not stall the whole
+        batch: that key maps to None, the rest are granted."""
+        call(instance, "qareg", key="b")  # writer owns "b"
+        tokens = call(instance, "batch_iset", keys=["a", "b", "c"])
+        assert tokens["a"] is not None and tokens["c"] is not None
+        assert tokens["b"] is None
+
+
+class TestBatchIqset:
+    def test_installs_fresh_values(self, instance):
+        tokens = call(instance, "batch_iset", keys=["a", "b"])
+        payload = [("a", Value(5, 10), tokens["a"]),
+                   ("b", Value(6, 10), tokens["b"])]
+        results = call(instance, "batch_iqset", payload=payload)
+        assert results == {"a": True, "b": True}
+        assert call(instance, "get", key="a").version == 5
+        assert call(instance, "get", key="b").version == 6
+
+    def test_miss_value_acts_as_idelete(self, instance):
+        """CACHE_MISS means the secondary had no copy either: release
+        the lease and leave the key deleted (Algorithm 3 line 16)."""
+        call(instance, "set", key="a", value=Value(1, 10))
+        tokens = call(instance, "batch_iset", keys=["a"])
+        results = call(instance, "batch_iqset",
+                       payload=[("a", CACHE_MISS, tokens["a"])])
+        assert results == {"a": True}
+        assert call(instance, "get", key="a") is CACHE_MISS
+        assert not instance.leases.check_i("a", tokens["a"])
+
+    def test_voided_lease_skips_install(self, instance):
+        """A writer's Q lease voids the batch's I lease mid-flight; the
+        stale secondary copy must not be installed (Lemma 2)."""
+        tokens = call(instance, "batch_iset", keys=["a"])
+        call(instance, "qareg", key="a")  # voids the I lease
+        results = call(instance, "batch_iqset",
+                       payload=[("a", Value(9, 10), tokens["a"])])
+        assert results == {"a": False}
+        assert call(instance, "get", key="a") is CACHE_MISS
+
+    def test_consumes_leases(self, instance):
+        tokens = call(instance, "batch_iset", keys=["a"])
+        call(instance, "batch_iqset",
+             payload=[("a", Value(2, 10), tokens["a"])])
+        assert not instance.leases.check_i("a", tokens["a"])
+
+
+class TestGetDirtyPage:
+    def _populate(self, instance, count, fragment_id=0):
+        call(instance, "create_dirty", fragment_id=fragment_id)
+        for index in range(count):
+            call(instance, "append_dirty", fragment_id=fragment_id,
+                 key=f"k{index:04d}")
+
+    def test_evicted_list_reports_miss(self, instance):
+        assert call(instance, "get_dirty_page", fragment_id=0,
+                    payload={"after": 0, "limit": 8}) is CACHE_MISS
+
+    def test_pagination_covers_all_keys_once(self, instance):
+        self._populate(instance, 10)
+        seen, cursor = [], 0
+        while True:
+            page = call(instance, "get_dirty_page", fragment_id=0,
+                        payload={"after": cursor, "limit": 4})
+            seen.extend(page.keys)
+            if not page.more:
+                break
+            cursor = page.cursor
+        assert seen == [f"k{i:04d}" for i in range(10)]
+
+    def test_page_reports_complete_flag(self, instance):
+        self._populate(instance, 3)
+        page = call(instance, "get_dirty_page", fragment_id=0,
+                    payload={"after": 0, "limit": 8})
+        assert page.complete and not page.more
+
+    def test_recreated_list_pages_report_partial(self, instance):
+        """Evicted-and-recreated lists lack the marker: every page must
+        carry complete == False so the worker falls back to the full
+        fetch and the coordinator can discard the primary."""
+        self._populate(instance, 3)
+        call(instance, "delete_dirty", fragment_id=0)  # memory pressure
+        call(instance, "append_dirty", fragment_id=0, key="late")
+        page = call(instance, "get_dirty_page", fragment_id=0,
+                    payload={"after": 0, "limit": 8})
+        assert not page.complete

@@ -72,3 +72,58 @@ class TestDirtyList:
     def test_repr_flags_partial(self):
         assert "PARTIAL" in repr(DirtyList(3, marker=False))
         assert "complete" in repr(DirtyList(3, marker=True))
+
+
+class TestDirtyPage:
+    def _filled(self, count, marker=True):
+        dirty = DirtyList(0, marker=marker)
+        for index in range(count):
+            dirty.append(f"k{index:04d}")
+        return dirty
+
+    def test_page_respects_limit_and_flags_more(self):
+        dirty = self._filled(5)
+        page = dirty.page(after=0, limit=3)
+        assert list(page.keys) == ["k0000", "k0001", "k0002"]
+        assert page.more
+
+    def test_last_page_clears_more(self):
+        dirty = self._filled(5)
+        first = dirty.page(after=0, limit=3)
+        last = dirty.page(after=first.cursor, limit=3)
+        assert list(last.keys) == ["k0003", "k0004"]
+        assert not last.more
+
+    def test_exact_fit_flags_no_more(self):
+        dirty = self._filled(3)
+        page = dirty.page(after=0, limit=3)
+        assert len(page.keys) == 3 and not page.more
+
+    def test_empty_list_yields_empty_page(self):
+        dirty = DirtyList(0, marker=True)
+        page = dirty.page(after=0, limit=4)
+        assert page.keys == () and not page.more
+
+    def test_cursor_survives_concurrent_discard(self):
+        """Repairing (removing) already-fetched keys — even the cursor
+        key itself — must not skip or repeat the remaining keys."""
+        dirty = self._filled(6)
+        first = dirty.page(after=0, limit=2)
+        for key in first.keys:  # the worker repairs the fetched chunk
+            dirty.discard(key)
+        second = dirty.page(after=first.cursor, limit=2)
+        assert list(second.keys) == ["k0002", "k0003"]
+
+    def test_reappend_keeps_original_position(self):
+        """A key rewritten while the scan is past it must not reappear
+        with a fresh sequence number (it would be repaired twice, or
+        worse, paged forever)."""
+        dirty = self._filled(4)
+        page = dirty.page(after=0, limit=2)
+        dirty.append("k0000")  # second write to an already-dirty key
+        rest = dirty.page(after=page.cursor, limit=10)
+        assert list(rest.keys) == ["k0002", "k0003"]
+
+    def test_page_carries_completeness(self):
+        assert self._filled(2, marker=True).page(0, 8).complete
+        assert not self._filled(2, marker=False).page(0, 8).complete

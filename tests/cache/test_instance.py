@@ -7,7 +7,6 @@ from repro.cache.dirtylist import dirty_list_key
 from repro.cache.instance import CONFIG_ENTRY_KEY, CacheInstance, CacheOp
 from repro.config.configuration import Configuration
 from repro.errors import CacheError, InstanceDown, LeaseBackoff, StaleConfiguration
-from repro.sim.core import Simulator
 from repro.types import CACHE_MISS, Value
 
 

@@ -183,3 +183,36 @@ class TestRedlease:
         table.acquire_i("x")
         red.acquire("x")  # must not raise
         table.acquire_q("x")  # must not raise either
+
+    def test_takeover_counter_counts_expired_displacements(self, clock):
+        """Grants that displace an expired-but-unreleased lease are
+        takeovers (a worker died mid-pass, Section 3.3); clean
+        release/reacquire cycles are not."""
+        red = Redlease(clock, lifetime=1.0)
+        lease = red.acquire("list-1")
+        red.release("list-1", lease.token)
+        red.acquire("list-1")  # clean handoff
+        assert red.takeovers == 0
+        clock.advance(1.5)  # holder dies; lease expires unreleased
+        red.acquire("list-1")
+        assert red.takeovers == 1
+
+    def test_lazy_gc_drops_expired_leases_of_other_resources(self, clock):
+        """Acquire GCs every expired lease, not just the requested one,
+        so abandoned resources do not accumulate forever."""
+        red = Redlease(clock, lifetime=1.0)
+        red.acquire("list-1")
+        red.acquire("list-2")
+        clock.advance(1.5)
+        red.acquire("list-3")  # triggers the lazy sweep
+        assert "list-1" not in red._held and "list-2" not in red._held
+
+    def test_release_after_expiry_takeover_rejected(self, clock):
+        """A resurrected worker's release must not free the new holder's
+        lease (token mismatch)."""
+        red = Redlease(clock, lifetime=1.0)
+        old = red.acquire("list-1")
+        clock.advance(1.5)
+        new = red.acquire("list-1")
+        assert not red.release("list-1", old.token)
+        assert red.holder("list-1").token == new.token

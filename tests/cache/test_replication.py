@@ -6,7 +6,6 @@ import pytest
 
 from repro.cache.instance import CacheInstance
 from repro.cache.replication import MirroredReplicaGroup, SyncStrategy
-from repro.sim.core import Simulator
 from repro.sim.network import LatencyModel, Network
 from repro.types import CACHE_MISS, Value
 

@@ -143,8 +143,7 @@ class TestRecoveryMode:
         cluster.start()
         client = cluster.clients[0]
         key = "user0000000001"
-        primary = self.prepare_recovery(cluster, key,
-                                        write_during_outage=False)
+        self.prepare_recovery(cluster, key, write_during_outage=False)
         before = cluster.datastore.reads
         value = run_session(cluster, client.read(key))
         assert value.version == 1

@@ -5,7 +5,6 @@ data store slow (so sessions overlap) and launching sessions at precise
 simulated times, then assert the oracle sees no stale read.
 """
 
-import pytest
 
 from repro.harness.cluster import ClusterSpec, GeminiCluster
 from repro.recovery.policies import GEMINI_O_W

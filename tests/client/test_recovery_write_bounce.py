@@ -9,12 +9,10 @@ Gemini-O recovery worker then faithfully copies it back into the primary
 cache-side invalidation under the fresh configuration.
 """
 
-import pytest
 
-from repro.cache.instance import CacheOp
 from repro.errors import StaleConfiguration
 from repro.recovery.policies import GEMINI_O
-from repro.types import CACHE_MISS, FragmentMode, Value
+from repro.types import CACHE_MISS, FragmentMode
 from tests.conftest import build_cluster
 
 

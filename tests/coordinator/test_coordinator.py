@@ -1,7 +1,6 @@
 """Unit tests for coordinator mode transitions (Figure 4) and the
 Rejig discard logic (Section 3.2.4 / Example 3.1)."""
 
-import pytest
 
 from repro.cache.instance import CacheOp
 from repro.recovery.policies import (

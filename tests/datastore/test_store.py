@@ -4,7 +4,6 @@ import pytest
 
 from repro.datastore.store import DataStore, DataStoreOp
 from repro.errors import CacheError
-from repro.sim.core import Simulator
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.harness.cluster import ClusterSpec, GeminiCluster
-from repro.recovery.policies import GEMINI_O_W
 from repro.types import CACHE_MISS
 
 

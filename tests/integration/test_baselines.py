@@ -4,7 +4,6 @@ StaleCache serves stale data after recovery (Figure 1); VolatileCache is
 consistent but must re-warm from the store; Gemini gets both properties.
 """
 
-import pytest
 
 from repro.recovery.policies import GEMINI_O, STALE_CACHE, VOLATILE_CACHE
 from repro.sim.failures import FailureSchedule

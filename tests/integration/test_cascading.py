@@ -32,7 +32,7 @@ class TestCascade:
 
     def test_affected_fragments_discarded(self):
         cluster, __, experiment = self.build()
-        result = experiment.run()
+        experiment.run()
         assert cluster.coordinator.fragments_discarded > 0
         # Everything converges back to normal mode.
         final = cluster.coordinator.current

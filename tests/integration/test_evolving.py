@@ -41,7 +41,7 @@ class TestEvolvingPattern:
         """With +W, the secondary's copies of the NEW working set move to
         the recovering primary instead of being recomputed at the store."""
         cluster, __, experiment = build_evolving(GEMINI_I_W, 1.0)
-        result = experiment.run()
+        experiment.run()
         wst_hits = sum(client.wst.counts("cache-0")["hits"]
                        for client in cluster.clients)
         assert wst_hits > 0

@@ -8,11 +8,10 @@
   without stale reads.
 """
 
-import pytest
 
 from repro.cache.instance import CacheOp
 from repro.recovery.policies import GEMINI_O, GEMINI_O_W
-from repro.types import CACHE_MISS, FragmentMode
+from repro.types import FragmentMode
 from tests.conftest import build_cluster
 
 

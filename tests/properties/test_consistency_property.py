@@ -7,7 +7,7 @@ interleaving of sessions, failures, recoveries, repairs, and transfers
 that the generator can find violates read-after-write consistency.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.harness.cluster import ClusterSpec, GeminiCluster
@@ -71,6 +71,18 @@ def run_scenario(params) -> int:
 
 class TestGeminiNeverServesStale:
     @given(scenario)
+    # Regression: a write session that started in transient mode and
+    # straddled the transient->recovery transition used to complete
+    # against the secondary under the new configuration, so its Q lease
+    # never reached the primary's lease table and a concurrent
+    # recovery-mode reader resurrected the pre-write value (fixed by
+    # stamping all of a session's ops with the config id captured at
+    # routing time).
+    @example({
+        "seed": 353, "policy": GEMINI_I_W, "update_fraction": 1 / 3,
+        "fail_at": 4.340510942573166, "outage": 3.2515192261018346,
+        "second_failure": False, "emulated": True, "switch_pattern": False,
+    })
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])

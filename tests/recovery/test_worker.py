@@ -1,10 +1,9 @@
 """Unit tests for recovery workers (Algorithm 3)."""
 
-import pytest
 
 from repro.cache.instance import CacheOp
 from repro.recovery.policies import GEMINI_I, GEMINI_O
-from repro.types import CACHE_MISS, FragmentMode, Value
+from repro.types import CACHE_MISS, FragmentMode
 from tests.conftest import build_cluster
 
 
@@ -51,7 +50,6 @@ def make_cluster(policy, **kw):
 class TestGeminiO:
     def test_dirty_keys_overwritten_from_secondary(self):
         cluster = make_cluster(GEMINI_O)
-        client = cluster.clients[0]
         keys = [f"user{i:010d}" for i in range(6)]
         fragments = dirty_cycle(cluster, keys)
         # Re-read through the secondary during the outage so the secondary

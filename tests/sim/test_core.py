@@ -256,6 +256,45 @@ class TestProcess:
         sim.run()
         assert process.ok
 
+    def test_double_interrupt_first_cause_wins(self, sim):
+        """A second interrupt before delivery is a no-op: exactly one
+        Interrupt arrives and it carries the first cause."""
+        log = []
+
+        def sleeper():
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause))
+            yield 1.0
+            log.append(("slept", sim.now))
+
+        def interrupt_twice():
+            process.interrupt("first")
+            process.interrupt("second")  # in flight already: a no-op
+
+        process = sim.process(sleeper())
+        sim.schedule(2.0, interrupt_twice)
+        sim.run()
+        # One delivery, first cause; the follow-up sleep is undisturbed.
+        assert log == [("interrupted", "first"), ("slept", 3.0)]
+        assert process.ok
+
+    def test_interrupt_after_finish_does_not_revive(self, sim):
+        """Interrupting a process that finished *while the interrupt of
+        another was pending* never resurrects the generator."""
+        def quick():
+            yield 0.1
+            return "done"
+
+        process = sim.process(quick())
+        sim.run()
+        assert process.value == "done"
+        process.interrupt("one")
+        process.interrupt("two")
+        sim.run()
+        assert process.ok and process.value == "done"
+
     def test_run_until_returns_event_value(self, sim):
         def proc():
             yield 3.0

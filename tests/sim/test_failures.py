@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.core import Simulator
 from repro.sim.failures import FailureInjector, FailureSchedule
 from repro.sim.network import RemoteNode
 

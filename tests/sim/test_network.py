@@ -10,7 +10,6 @@ from repro.errors import (
     RequestTimeout,
     SimulationError,
 )
-from repro.sim.core import Simulator
 from repro.sim.network import LatencyModel, Network, RemoteNode, ServiceStation
 
 

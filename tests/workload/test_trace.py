@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.sim.core import Simulator
 from repro.workload.trace import TraceRecord, TraceReplayer
 
 
