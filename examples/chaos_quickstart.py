@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Chaos quickstart: a hand-written nemesis schedule, checked end to end.
+
+Builds a 3-instance Gemini cluster and throws the two nastiest faults in
+the chaos engine's repertoire at it *at the same time*:
+
+* a network partition between a client and an instance, and
+* a crash-during-recovery double hit (the instance is killed again a
+  beat after it comes back, mid-recovery — Figure 4 arrow 5 territory),
+
+while the full protocol-invariant registry (monotone configurations,
+config structure, dirty-list completeness, eviction-marker integrity,
+Redlease mutual exclusion, read-after-write) watches every protocol
+event. The run is a pure function of the spec: the fingerprint printed
+at the end is identical on every machine.
+
+For *randomized* schedules, sweeps, shrinking, and replay files, use the
+CLI instead:  PYTHONPATH=src python -m repro.chaos --seeds 50
+
+Run:  python examples/chaos_quickstart.py
+"""
+
+from repro.chaos.nemesis import NemesisAction, TrialSpec
+from repro.chaos.runner import run_trial
+from repro.metrics.report import format_table
+
+
+def main():
+    # One spec describes the whole trial: cluster shape, workload, faults.
+    spec = TrialSpec(
+        seed=7,
+        policy="Gemini-O",
+        num_instances=3,
+        num_clients=2,
+        num_workers=2,
+        records=120,
+        update_fraction=0.10,
+        threads=3,
+        duration=14.0,
+        actions=[
+            # Cut client-0 off from cache-1 for two seconds...
+            NemesisAction("partition", 3.0, 2.0, "client-0", "cache-1"),
+            # ...while cache-0 crashes (a real crash: DRAM lease table
+            # lost, heartbeat detection)...
+            NemesisAction("crash", 3.5, 1.5, "cache-0", emulated=False),
+            # ...and is killed AGAIN 0.3s after coming back, mid-recovery.
+            NemesisAction("crash", 5.3, 1.0, "cache-0", emulated=False),
+        ],
+    )
+
+    result = run_trial(spec)
+
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["operations issued", result.ops_issued],
+            ["op errors (sessions hit by faults)", result.op_errors],
+            ["messages dropped by the partition", result.messages_dropped],
+            ["protocol events checked", result.events_emitted],
+            ["final configuration id", result.final_config_id],
+            ["reads checked by the oracle", result.reads_checked],
+            ["stale reads", result.stale_reads],
+            ["invariant violations", len(result.violations)],
+            ["trial fingerprint", result.fingerprint()],
+        ],
+        title="Chaos quickstart: partition + crash-during-recovery"))
+
+    for violation in result.violations:
+        print(f"  {violation}")
+    assert result.ok, "the Gemini protocol must survive this schedule"
+    assert result.messages_dropped > 0, "the partition saw real traffic"
+    print("\nOK: partition + double crash survived; every protocol "
+          "invariant held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,8 +104,11 @@ class CacheInstance(RemoteNode):
                  iq_lifetime: float = 0.010,
                  red_lifetime: float = 2.0,
                  servers: int = 16,
-                 base_service_time: float = 5e-6):
+                 base_service_time: float = 5e-6,
+                 event_log=None):
         super().__init__(sim, address, servers=servers)
+        #: Optional structured protocol-event stream (verify.events).
+        self.event_log = event_log
         self.memory_bytes = memory_bytes
         self.policy = policy if policy is not None else LruPolicy()
         self.base_service_time = base_service_time
@@ -125,6 +128,10 @@ class CacheInstance(RemoteNode):
     def subscribe_evictions(self, callback) -> None:
         """``callback(key)`` on every eviction this instance performs."""
         self._eviction_listeners.append(callback)
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(kind, address=self.address, **data)
 
     # ------------------------------------------------------------------
     # RemoteNode plumbing
@@ -163,12 +170,14 @@ class CacheInstance(RemoteNode):
         super().fail()
         self.leases.clear()
         self.red.clear()
+        self._emit("leases_cleared")
 
     def wipe(self) -> None:
         """Discard all content — the VolatileCache baseline's recovery."""
         self._entries.clear()
         self.policy.clear()
         self._used = 0
+        self._emit("instance_wiped")
 
     # ------------------------------------------------------------------
     # Storage internals
@@ -242,6 +251,8 @@ class CacheInstance(RemoteNode):
             entry = self._entries.get(victim)
             if entry is not None and isinstance(entry.value, DirtyList):
                 self.stats.dirty_list_evictions += 1
+                self._emit("dirty_evicted",
+                           fragment_id=entry.value.fragment_id)
             self._remove(victim)
             self.stats.evictions += 1
             for listener in self._eviction_listeners:
@@ -418,15 +429,29 @@ class CacheInstance(RemoteNode):
         """Coordinator initializes the list *with* the marker at the
         transient-mode transition. An existing complete list is preserved
         (Figure 4 arrow 5: a primary failing again mid-recovery must not
-        reset the log covering its first outage)."""
+        reset the log covering its first outage).
+
+        ``payload={"fresh": False}`` marks a *resumed* episode (arrow 5):
+        the list must already cover earlier writes, so if it is missing
+        or partial the replacement is created *without* the marker — a
+        fresh marker here would falsely certify a log that lost its
+        prefix, letting recovery restore the floor over unrepaired
+        writes. The marker-less list makes recovery detect the loss and
+        discard the fragment instead.
+        """
         key = dirty_list_key(request.fragment_id)
         existing = self._entries.get(key)
         if existing is not None and existing.value.complete:
             self.policy.on_access(key)
+            self._emit("dirty_created", fragment_id=request.fragment_id,
+                       marker=True, preserved=True)
             return True
-        dirty = DirtyList(request.fragment_id, marker=True)
+        fresh = request.payload is None or request.payload.get("fresh", True)
+        dirty = DirtyList(request.fragment_id, marker=fresh)
         self._store(key, dirty, request.tag(), dirty.size)
-        return True
+        self._emit("dirty_created", fragment_id=request.fragment_id,
+                   marker=fresh, preserved=False)
+        return fresh
 
     def op_append_dirty(self, request: CacheOp) -> bool:
         """Append a written key; recreates the list *without* the marker
@@ -437,6 +462,7 @@ class CacheInstance(RemoteNode):
         if entry is None:
             dirty = DirtyList(request.fragment_id, marker=False)
             entry = self._store(key, dirty, request.tag(), dirty.size)
+            self._emit("dirty_recreated", fragment_id=request.fragment_id)
         else:
             self.policy.on_access(key)
         dirty = entry.value
@@ -482,16 +508,26 @@ class CacheInstance(RemoteNode):
         return removed
 
     def op_delete_dirty(self, request: CacheOp) -> bool:
-        return self._remove(dirty_list_key(request.fragment_id))
+        removed = self._remove(dirty_list_key(request.fragment_id))
+        if removed:
+            self._emit("dirty_deleted", fragment_id=request.fragment_id)
+        return removed
 
     def op_red_acquire(self, request: CacheOp) -> int:
         """Redlease on a fragment's dirty list for a recovery worker."""
         lease = self.red.acquire(dirty_list_key(request.fragment_id))
+        self._emit("red_acquired", fragment_id=request.fragment_id,
+                   token=lease.token,
+                   expires_at=self.sim.now + self.red.lifetime)
         return lease.token
 
     def op_red_release(self, request: CacheOp) -> bool:
-        return self.red.release(dirty_list_key(request.fragment_id),
-                                request.token)
+        released = self.red.release(dirty_list_key(request.fragment_id),
+                                    request.token)
+        if released:
+            self._emit("red_released", fragment_id=request.fragment_id,
+                       token=request.token)
+        return released
 
     # ------------------------------------------------------------------
     # Control plane

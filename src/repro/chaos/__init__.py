@@ -1,0 +1,34 @@
+"""Deterministic chaos engine.
+
+One integer seed derives a complete randomized trial — cluster shape,
+workload, and a *nemesis schedule* of faults (crashes, crash-during-
+recovery, flapping, coordinator failover, network partitions, asymmetric
+link drops, delay spikes) — via the named-stream
+:class:`~repro.sim.rng.RngRegistry`. Trials run the existing
+:class:`~repro.harness.experiment.Experiment` harness with the full
+protocol-invariant registry attached; failing nemesis schedules are
+auto-shrunk to a minimal reproduction and serialized to a replay file
+that reproduces the run byte-for-byte.
+
+Entry points:
+
+* ``python -m repro.chaos --seed S`` — one trial.
+* ``python -m repro.chaos --seeds N`` — sweep; shrink + write a replay
+  file for the first failure.
+* ``python -m repro.chaos --replay FILE`` — re-run a replay file.
+* ``--mutant NAME`` — run against a deliberately re-broken protocol
+  variant (mutation testing of the checkers).
+"""
+
+from repro.chaos.nemesis import NemesisAction, TrialSpec, derive_spec
+from repro.chaos.runner import TrialResult, run_trial
+from repro.chaos.shrink import shrink
+
+__all__ = [
+    "NemesisAction",
+    "TrialSpec",
+    "derive_spec",
+    "TrialResult",
+    "run_trial",
+    "shrink",
+]

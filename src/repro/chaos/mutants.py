@@ -1,0 +1,136 @@
+"""Deliberately re-broken protocol variants (mutation testing).
+
+A chaos engine is only as good as its checkers, and checkers rot
+silently. Each *mutant* here re-introduces a specific protocol bug —
+including ones this repo has actually shipped and fixed — as a reversible
+monkey-patch; ``python -m repro.chaos --mutant NAME`` (and the CI smoke
+job) then asserts the invariant registry still catches it within a
+bounded number of seeds. If a refactor ever makes a mutant pass clean,
+the checkers lost their teeth.
+
+Mutants:
+
+``fresh-marker``
+    An evicted dirty list is recreated *with* the eviction marker, so a
+    log that lost its prefix looks complete and recovery trusts it —
+    defeating Section 3.1's eviction-detection scheme.
+
+``drop-dirty-append``
+    The instance acknowledges transient-mode appends without recording
+    the key, silently losing write-log entries; recovery then repairs
+    from an incomplete list.
+
+``red-always-grant``
+    :class:`~repro.cache.leases.Redlease` grants every acquire, even
+    while an unexpired lease is held — breaking the mutual exclusion two
+    recovery workers rely on when repairing the same fragment. Besides
+    the direct ``redlease-exclusion`` finding, some schedules escalate
+    into dirty-completeness violations and stale reads (double repair
+    deletes the list under the other worker's feet).
+
+A note on what is *not* here: a "stamp the current configuration id
+instead of the session's" mutant (the Rejig bug PR 1 fixed) was tried
+and never detected in 100 seeds — configuration pushes in this
+simulation are synchronous subscriber fan-outs, so the cross-replica
+window is microseconds wide and randomized schedules essentially never
+land in it. That bug family is covered by the targeted property test in
+``tests/client/test_recovery_write_bounce.py`` instead; chaos search and
+property tests are complements, not substitutes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.cache.dirtylist import DirtyList, dirty_list_key
+from repro.cache.instance import CacheInstance
+from repro.cache.leases import Lease, LeaseKind, Redlease
+
+__all__ = ["MUTANTS", "apply_mutant"]
+
+
+@contextmanager
+def _fresh_marker() -> Iterator[None]:
+    original = CacheInstance.op_append_dirty
+
+    def patched(self, request):
+        key = dirty_list_key(request.fragment_id)
+        if key not in self._entries:
+            # BUG (re-introduced): recreate the evicted list WITH the
+            # marker, erasing the evidence that its prefix is gone.
+            dirty = DirtyList(request.fragment_id, marker=True)
+            self._store(key, dirty, request.tag(), dirty.size)
+        return original(self, request)
+
+    CacheInstance.op_append_dirty = patched
+    try:
+        yield
+    finally:
+        CacheInstance.op_append_dirty = original
+
+
+@contextmanager
+def _drop_dirty_append() -> Iterator[None]:
+    original = CacheInstance.op_append_dirty
+
+    def patched(self, request):
+        entry = self._entries.get(dirty_list_key(request.fragment_id))
+        if entry is not None and entry.value.complete:
+            # BUG (re-introduced): acknowledge the append as complete
+            # without recording the key in the write log.
+            self.policy.on_access(entry.key)
+            self.stats.dirty_appends += 1
+            return True
+        return original(self, request)
+
+    CacheInstance.op_append_dirty = patched
+    try:
+        yield
+    finally:
+        CacheInstance.op_append_dirty = original
+
+
+@contextmanager
+def _red_always_grant() -> Iterator[None]:
+    original = Redlease.acquire
+
+    def patched(self, resource):
+        # BUG (re-introduced): grant unconditionally, ignoring any live
+        # holder — no backoff, no mutual exclusion.
+        now = self._clock()
+        self._gc(now)
+        lease = Lease(LeaseKind.RED, resource, next(self._tokens), now,
+                      now + self.lifetime)
+        self._held[resource] = lease
+        self.granted += 1
+        return lease
+
+    Redlease.acquire = patched
+    try:
+        yield
+    finally:
+        Redlease.acquire = original
+
+
+MUTANTS: Dict[str, object] = {
+    "fresh-marker": _fresh_marker,
+    "drop-dirty-append": _drop_dirty_append,
+    "red-always-grant": _red_always_grant,
+}
+
+
+@contextmanager
+def apply_mutant(name=None) -> Iterator[None]:
+    """Context manager activating mutant ``name`` (None = unmodified)."""
+    if name is None:
+        yield
+        return
+    try:
+        factory = MUTANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutant {name!r}; choose from {sorted(MUTANTS)}"
+        ) from None
+    with factory():
+        yield

@@ -1,0 +1,240 @@
+"""Nemesis-schedule generation: one seed -> one randomized fault program.
+
+The generator draws from the ``"nemesis"`` stream of a
+:class:`~repro.sim.rng.RngRegistry` seeded with the trial seed, so the
+whole trial — cluster shape, workload mix, and fault schedule — is a
+pure function of that one integer. The produced
+:class:`TrialSpec` serializes to JSON (the *replay file*); running a
+spec is deterministic, so editing the action list (what the shrinker
+does) perturbs nothing but the faults themselves.
+
+Fault patterns:
+
+* **crash** — one instance goes down for a while (emulated or real).
+* **crash_during_recovery** — the instance comes back and is killed
+  again a beat later, mid-recovery (Figure 4 arrow 5 territory).
+* **flap** — several rapid down/up cycles.
+* **partition** — a symmetric link cut between two roles (coordinator,
+  instance, client, worker, data store).
+* **asym_drop** — one *direction* of a link drops: requests still
+  arrive and execute, the caller sees an unreachable error.
+* **delay** — a latency spike on one link direction.
+* **failover** — the master coordinator dies and a shadow is promoted
+  (only generated when the trial has shadows).
+
+Crash-type windows are serialized globally with gaps: with
+``num_instances - 2`` tolerable concurrent outages on a 3-instance
+cluster, overlapping crashes would leave the round-robin assigner no
+survivors (and the injector's overlap validation would reject the
+schedule anyway).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["NemesisAction", "TrialSpec", "derive_spec"]
+
+#: Link-fault kinds (operate on the network), vs crash kinds (injector).
+LINK_KINDS = ("partition", "drop", "delay")
+
+
+@dataclass(frozen=True)
+class NemesisAction:
+    """One fault in a nemesis schedule.
+
+    ``kind`` in {crash, partition, drop, delay, failover}. ``target`` /
+    ``target2`` are node addresses (for link faults: the two endpoints,
+    directional for ``drop``/``delay``). ``emulated`` applies to
+    crashes only; ``extra`` is the delay spike in seconds.
+    """
+
+    kind: str
+    at: float
+    duration: float = 0.0
+    target: str = ""
+    target2: str = ""
+    emulated: bool = True
+    extra: float = 0.0
+
+    @property
+    def ends_at(self) -> float:
+        return self.at + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind, "at": self.at, "duration": self.duration,
+            "target": self.target, "target2": self.target2,
+            "emulated": self.emulated, "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NemesisAction":
+        return cls(**data)
+
+
+@dataclass
+class TrialSpec:
+    """Everything needed to reproduce one chaos trial byte-for-byte."""
+
+    seed: int
+    policy: str = "Gemini-O"
+    num_instances: int = 3
+    fragments_per_instance: int = 3
+    num_clients: int = 2
+    num_workers: int = 2
+    num_shadows: int = 0
+    records: int = 120
+    record_size: int = 512
+    update_fraction: float = 0.10
+    threads: int = 3
+    duration: float = 14.0
+    cache_db_ratio: float = 0.5
+    actions: List[NemesisAction] = field(default_factory=list)
+
+    def replace_actions(self, actions: List[NemesisAction]) -> "TrialSpec":
+        return replace(self, actions=list(actions))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {k: v for k, v in self.__dict__.items() if k != "actions"}
+        data["actions"] = [a.to_dict() for a in self.actions]
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrialSpec":
+        data = dict(data)
+        actions = [NemesisAction.from_dict(a) for a in data.pop("actions", [])]
+        return cls(actions=actions, **data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+def _round(value: float) -> float:
+    return round(value, 3)
+
+
+def derive_spec(seed: int) -> TrialSpec:
+    """Derive the complete randomized trial for ``seed``."""
+    rng = RngRegistry(seed).stream("nemesis")
+    spec = TrialSpec(
+        seed=seed,
+        policy=rng.choice(["Gemini-O", "Gemini-O", "Gemini-I"]),
+        num_shadows=rng.choice([0, 0, 0, 1]),
+        records=2 * rng.randrange(45, 70),  # KeySpace wants an even count
+        update_fraction=rng.choice([0.05, 0.10, 0.20]),
+        # The tight ratios put real eviction pressure on dirty lists.
+        cache_db_ratio=rng.choice([0.15, 0.3, 0.6]),
+    )
+
+    instances = [f"cache-{i}" for i in range(spec.num_instances)]
+    clients = [f"client-{i}" for i in range(spec.num_clients)]
+    workers = [f"worker-{i}" for i in range(spec.num_workers)]
+
+    patterns = ["crash", "crash_during_recovery", "flap",
+                "partition", "asym_drop", "delay"]
+    if spec.num_shadows > 0:
+        patterns.append("failover")
+
+    actions: List[NemesisAction] = []
+    #: Crash windows are serialized; the last one must end with enough
+    #: tail left for recovery to finish before the trial does.
+    crash_free_at = 2.0
+    crash_deadline = spec.duration - 5.0
+    link_window = (2.0, spec.duration - 4.5)
+    did_failover = False
+
+    def link_pair() -> tuple:
+        side_a = rng.choice(["coordinator", "client", "worker"])
+        if side_a == "coordinator":
+            a = "coordinator"
+            b = rng.choice(instances)
+        elif side_a == "worker":
+            a = rng.choice(workers)
+            b = rng.choice(instances)
+        else:
+            a = rng.choice(clients)
+            b = rng.choice(instances + ["datastore", "coordinator"])
+        return a, b
+
+    for pattern in [rng.choice(patterns) for _ in range(rng.randint(2, 4))]:
+        if pattern == "crash":
+            at = _round(crash_free_at + rng.uniform(0.0, 1.5))
+            duration = _round(rng.uniform(1.0, 3.0))
+            if at + duration > crash_deadline:
+                continue
+            actions.append(NemesisAction(
+                "crash", at, duration, rng.choice(instances),
+                emulated=rng.random() < 0.5))
+            crash_free_at = at + duration + 0.5
+        elif pattern == "crash_during_recovery":
+            target = rng.choice(instances)
+            emulated = rng.random() < 0.5
+            at = _round(crash_free_at + rng.uniform(0.0, 1.0))
+            first = _round(rng.uniform(0.8, 2.0))
+            # Kill it again a beat after it comes back, mid-recovery.
+            beat = _round(rng.uniform(0.05, 0.8))
+            second = _round(rng.uniform(0.5, 1.5))
+            if at + first + beat + second > crash_deadline:
+                continue
+            actions.append(NemesisAction("crash", at, first, target,
+                                         emulated=emulated))
+            actions.append(NemesisAction(
+                "crash", _round(at + first + beat), second, target,
+                emulated=emulated))
+            crash_free_at = at + first + beat + second + 0.5
+        elif pattern == "flap":
+            target = rng.choice(instances)
+            emulated = rng.random() < 0.7
+            at = crash_free_at + rng.uniform(0.0, 1.0)
+            for _ in range(rng.randint(2, 3)):
+                duration = rng.uniform(0.3, 0.7)
+                if at + duration > crash_deadline:
+                    break
+                actions.append(NemesisAction(
+                    "flap", _round(at), _round(duration), target,
+                    emulated=emulated))
+                at = at + duration + rng.uniform(0.25, 0.6)
+            crash_free_at = at + 0.5
+        elif pattern == "partition":
+            a, b = link_pair()
+            at = _round(rng.uniform(*link_window))
+            actions.append(NemesisAction(
+                "partition", at, _round(rng.uniform(0.8, 2.5)), a, b))
+        elif pattern == "asym_drop":
+            a, b = link_pair()
+            if rng.random() < 0.5:
+                a, b = b, a
+            at = _round(rng.uniform(*link_window))
+            actions.append(NemesisAction(
+                "drop", at, _round(rng.uniform(0.5, 2.0)), a, b))
+        elif pattern == "delay":
+            a, b = link_pair()
+            at = _round(rng.uniform(*link_window))
+            actions.append(NemesisAction(
+                "delay", at, _round(rng.uniform(0.8, 3.0)), a, b,
+                extra=_round(rng.uniform(0.002, 0.02))))
+        elif pattern == "failover" and not did_failover:
+            did_failover = True
+            actions.append(NemesisAction(
+                "failover", _round(rng.uniform(3.0, spec.duration - 5.0))))
+
+    if not any(a.kind in ("crash", "flap") for a in actions):
+        # Every trial exercises at least one outage: a pure link-fault
+        # schedule leaves the recovery protocol untouched.
+        at = _round(crash_free_at + rng.uniform(0.0, 1.0))
+        actions.append(NemesisAction(
+            "crash", at, _round(rng.uniform(1.0, 2.5)),
+            rng.choice(instances), emulated=rng.random() < 0.5))
+
+    spec.actions = sorted(actions, key=lambda a: (a.at, a.kind, a.target))
+    return spec

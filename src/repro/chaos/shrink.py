@@ -1,0 +1,122 @@
+"""Nemesis-schedule shrinking: minimal failing reproductions.
+
+When a trial violates an invariant, the raw schedule usually contains
+faults that have nothing to do with the bug. The shrinker performs
+delta debugging over the action list (ddmin-style: try dropping chunks,
+halving the chunk size until single actions), then tries shortening the
+surviving actions' durations — re-running the trial after every edit and
+keeping the edit only while the *same invariant* still fires. The result
+is a minimal :class:`~repro.chaos.nemesis.TrialSpec` that reproduces the
+violation deterministically, ready to serialize as a replay file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Set
+
+from repro.chaos.nemesis import TrialSpec
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing trial."""
+
+    spec: TrialSpec                 #: minimal failing spec
+    result: object                  #: TrialResult of the minimal spec
+    runs: int                       #: trials executed while shrinking
+    removed_actions: int
+    shortened_actions: int
+
+
+def _invariants_of(result) -> Set[str]:
+    return {v.invariant for v in result.violations}
+
+
+def shrink(spec: TrialSpec, first_result,
+           run: Optional[Callable] = None,
+           mutant: Optional[str] = None,
+           max_runs: int = 64) -> ShrinkResult:
+    """Minimize ``spec``'s action list while the violation reproduces.
+
+    ``first_result`` is the failing :class:`~repro.chaos.runner.TrialResult`
+    of ``spec``; an edit is kept only if re-running still violates at
+    least one of the invariants that originally fired (so shrinking never
+    trades the bug under investigation for a different one).
+    """
+    if run is None:
+        from repro.chaos.runner import run_trial
+
+        def run(candidate):  # noqa: F811 - default runner
+            return run_trial(candidate, mutant=mutant)
+
+    wanted = _invariants_of(first_result)
+    if not wanted:
+        raise ValueError("cannot shrink a passing trial")
+
+    budget = {"runs": 0}
+
+    def still_fails(candidate: TrialSpec):
+        if budget["runs"] >= max_runs:
+            return None
+        budget["runs"] += 1
+        result = run(candidate)
+        if _invariants_of(result) & wanted:
+            return result
+        return None
+
+    best_spec, best_result = spec, first_result
+    original_count = len(spec.actions)
+
+    # Phase 1: ddmin over the action list.
+    chunk = max(1, len(best_spec.actions) // 2)
+    while chunk >= 1:
+        index = 0
+        progressed = False
+        while index < len(best_spec.actions):
+            actions: List = list(best_spec.actions)
+            del actions[index:index + chunk]
+            candidate = best_spec.replace_actions(actions)
+            result = still_fails(candidate)
+            if result is not None:
+                best_spec, best_result = candidate, result
+                progressed = True
+                # Same index now addresses the next chunk.
+            else:
+                index += chunk
+            if budget["runs"] >= max_runs:
+                break
+        if budget["runs"] >= max_runs:
+            break
+        if not progressed and chunk == 1:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progressed else 0)
+
+    # Phase 2: shorten surviving durations (halving, a few rounds each).
+    shortened = 0
+    for index in range(len(best_spec.actions)):
+        for _ in range(3):
+            action = best_spec.actions[index]
+            if action.duration < 0.2:
+                break
+            candidate = best_spec.replace_actions([
+                replace(a, duration=round(a.duration / 2, 3)) if i == index
+                else a
+                for i, a in enumerate(best_spec.actions)])
+            result = still_fails(candidate)
+            if result is None:
+                break
+            best_spec, best_result = candidate, result
+            shortened += 1
+        if budget["runs"] >= max_runs:
+            break
+
+    return ShrinkResult(
+        spec=best_spec,
+        result=best_result,
+        runs=budget["runs"],
+        removed_actions=original_count - len(best_spec.actions),
+        shortened_actions=shortened,
+    )

@@ -52,9 +52,14 @@ class GeminiClient:
                  rng: Optional[random.Random] = None,
                  backoff_base: float = 0.001,
                  backoff_cap: float = 0.016,
-                 suspension_delay: float = 0.02):
+                 suspension_delay: float = 0.02,
+                 event_log=None):
         self.sim = sim
-        self.network = network
+        #: Optional structured protocol-event stream (verify.events).
+        self.event_log = event_log
+        # Bound handle: this client's RPCs are attributable for link-fault
+        # rules (partitions between one client and one instance, etc.).
+        self.network = network.bound(name)
         self.policy = policy
         self.coordinator_address = coordinator_address
         self.datastore_address = datastore_address
@@ -75,9 +80,18 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Configuration plumbing
     # ------------------------------------------------------------------
+    def _adopt(self, config) -> bool:
+        """Adopt a configuration if strictly newer; emit the observation."""
+        if not self.cache.adopt(config):
+            return False
+        if self.event_log is not None:
+            self.event_log.emit("config_observed", actor=self.name,
+                                config_id=config.config_id)
+        return True
+
     def on_config(self, config) -> None:
         """Coordinator push (subscribe this method on the coordinator)."""
-        if not self.cache.adopt(config):
+        if not self._adopt(config):
             return
         # Drop dirty copies of fragments that left recovery mode.
         for fragment in config.fragments:
@@ -89,7 +103,7 @@ class GeminiClient:
         """Fetch the initial configuration (a process to yield from)."""
         config = yield self.network.call(
             self.coordinator_address, CoordinatorOp(op="get_config"))
-        self.cache.adopt(config)
+        self._adopt(config)
         return config
 
     def _refresh_config(self):
@@ -100,7 +114,7 @@ class GeminiClient:
                 self.coordinator_address, CoordinatorOp(op="get_config"))
         except _UNREACHABLE:
             return
-        self.cache.adopt(config)
+        self._adopt(config)
 
     # ------------------------------------------------------------------
     # RPC helpers
@@ -415,6 +429,11 @@ class GeminiClient:
             complete = yield self.network.call(
                 target, self._op("append_dirty", cfg,
                                  fragment_id=fragment.fragment_id, key=key))
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "transient_write", actor=self.name, address=target,
+                    fragment_id=fragment.fragment_id,
+                    episode=fragment.cfg_id, key=key, complete=complete)
             if not complete:
                 # The marker is gone: the list was evicted and recreated.
                 self._notify_dirty_lost(fragment.fragment_id)

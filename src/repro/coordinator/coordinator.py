@@ -60,9 +60,14 @@ class Coordinator(RemoteNode):
                  address: str = "coordinator",
                  initial_config_id: int = 1,
                  monitor_interval: float = 1.0,
-                 wst_max_duration: float = 300.0):
+                 wst_max_duration: float = 300.0,
+                 event_log=None):
         super().__init__(sim, address, servers=16)
-        self.network = network
+        #: Optional structured protocol-event stream (verify.events).
+        self.event_log = event_log
+        # Outgoing RPCs carry this coordinator's identity so that link
+        # faults (e.g. a coordinator<->instance partition) affect them.
+        self.network = network.bound(address)
         self.policy = policy
         self.monitor_interval = monitor_interval
         self.wst_max_duration = wst_max_duration
@@ -107,6 +112,10 @@ class Coordinator(RemoteNode):
     def subscribe(self, callback: Callable[[Configuration], None]) -> None:
         """Receive every published configuration (clients & workers)."""
         self._subscribers.append(callback)
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(kind, actor=self.address, **data)
 
     def register_wst_feedback(self, fn: Callable[[str], Dict[str, int]]) -> None:
         """Aggregated client-side WST lookup counters per recovering
@@ -191,7 +200,18 @@ class Coordinator(RemoteNode):
                          name=f"coord-wst-done:{address}")
 
     def on_injector_event(self, event: str, address: str) -> None:
-        """Adapter for :class:`repro.sim.failures.FailureInjector`."""
+        """Adapter for :class:`repro.sim.failures.FailureInjector`.
+
+        A dead coordinator ignores membership events: after a failover
+        the promoted shadow owns them, and the old master must not keep
+        committing configurations from its diverged state (its injector
+        subscription — unlike client RPCs, which the network refuses —
+        would otherwise still fire). Found by the chaos engine: the
+        stale master's pushes routed writes where the promoted master's
+        recovery never looked, losing them from the dirty list.
+        """
+        if not self.up:
+            return
         if event == "fail":
             self.notify_failure(address)
         elif event == "recover":
@@ -221,17 +241,24 @@ class Coordinator(RemoteNode):
                     updates[fid] = fragment.replace(
                         secondary=secondary, mode=FragmentMode.TRANSIENT,
                         cfg_id=new_id, wst_active=False)
+                    self._emit("transient_begin", fragment_id=fid,
+                               episode=new_id, secondary=secondary,
+                               resumed=False)
                     if self.policy.maintain_dirty:
-                        dirty_creates.append((secondary, fid))
+                        dirty_creates.append((secondary, fid, True))
                 elif fragment.primary == address and fragment.mode is FragmentMode.RECOVERY:
                     # Arrow 5 in Figure 4: failed again before recovery
                     # completed. Keep the restored floor; the dirty list in
-                    # the secondary keeps covering the outage.
+                    # the secondary keeps covering the outage, so its
+                    # (re-)creation must *not* mint a fresh marker.
                     self._dirty_done.discard(fid)
                     updates[fid] = fragment.replace(
                         mode=FragmentMode.TRANSIENT, wst_active=False)
+                    self._emit("transient_begin", fragment_id=fid,
+                               episode=fragment.cfg_id,
+                               secondary=fragment.secondary, resumed=True)
                     if self.policy.maintain_dirty and fragment.secondary:
-                        dirty_creates.append((fragment.secondary, fid))
+                        dirty_creates.append((fragment.secondary, fid, False))
                 elif fragment.secondary == address and fragment.mode is FragmentMode.TRANSIENT:
                     # The dirty list is gone: discard the primary replica
                     # and move the fragment to a fresh serving instance.
@@ -240,8 +267,12 @@ class Coordinator(RemoteNode):
                     self.fragments_discarded += 1
                     updates[fid] = fragment.replace(
                         secondary=replacement, cfg_id=new_id)
+                    self._emit("fragment_unrecoverable", fragment_id=fid)
+                    self._emit("transient_begin", fragment_id=fid,
+                               episode=new_id, secondary=replacement,
+                               resumed=False)
                     if self.policy.maintain_dirty:
-                        dirty_creates.append((replacement, fid))
+                        dirty_creates.append((replacement, fid, True))
                 elif fragment.secondary == address and fragment.mode is FragmentMode.RECOVERY:
                     # Section 3.3: terminate the transfer; remaining dirty
                     # keys are repaired from the coordinator's copy.
@@ -259,6 +290,7 @@ class Coordinator(RemoteNode):
             else:
                 self._config_id = new_id
                 self.current = self.current.evolve(new_id, {})
+                self._emit("config_commit", config=self.current)
                 yield from self._push_configuration()
         finally:
             self._lock.release()
@@ -326,10 +358,14 @@ class Coordinator(RemoteNode):
         new_id = self._config_id + 1
         updates: Dict[int, FragmentInfo] = {}
         recovery_fragments: List[FragmentInfo] = []
+        #: Transient-mode episode (pre-replace cfg_id) per recovering
+        #: fragment, for the recovery_dirty events emitted below.
+        episodes: Dict[int, int] = {}
         for fragment in self._recovering_fragments(address):
             fid = fragment.fragment_id
             if fragment.mode is FragmentMode.NORMAL and fragment.primary == address:
                 continue
+            episodes[fid] = fragment.cfg_id
             recoverable = self._recoverable.get(fid, False)
             dirty = CACHE_MISS
             if recoverable and fragment.secondary is not None:
@@ -344,6 +380,7 @@ class Coordinator(RemoteNode):
                 recoverable = False
             if not recoverable:
                 self.fragments_discarded += 1
+                self._emit("fragment_discarded", fragment_id=fid)
                 if fragment.secondary is not None:
                     # Best-effort removal of any leftover (partial) list so
                     # it cannot be mistaken for live state later.
@@ -381,6 +418,11 @@ class Coordinator(RemoteNode):
                 continue
             if dirty is not CACHE_MISS:
                 self._dirty_copy[info.fragment_id] = dirty.keys()
+                self._emit("recovery_dirty", fragment_id=info.fragment_id,
+                           episode=episodes.get(info.fragment_id),
+                           secondary=info.secondary,
+                           keys=tuple(dirty.keys()),
+                           complete=dirty.complete)
         if self.policy.working_set_transfer and recovery_fragments:
             self.sim.process(self._wst_monitor(address),
                              name=f"wst-monitor:{address}")
@@ -393,6 +435,7 @@ class Coordinator(RemoteNode):
                 return
             self._dirty_done.add(fragment_id)
             self._dirty_copy.pop(fragment_id, None)
+            self._emit("dirty_done", fragment_id=fragment_id)
             if fragment.wst_active:
                 return  # stays in recovery until the transfer terminates
             new_id = self._config_id + 1
@@ -412,6 +455,7 @@ class Coordinator(RemoteNode):
             if fragment is None or fragment.mode is not FragmentMode.TRANSIENT:
                 return
             self._recoverable[fragment_id] = False
+            self._emit("dirty_lost", fragment_id=fragment_id)
             new_id = self._config_id + 1
             # Promote the secondary to primary (Section 3.1); the old
             # primary replica is dead content that the floor bump discards
@@ -469,6 +513,7 @@ class Coordinator(RemoteNode):
         for fid, info in updates.items():
             self._fragments[fid] = info
         self.current = self.current.evolve(new_id, updates)
+        self._emit("config_commit", config=self.current)
         yield from self._push_configuration()
 
     def _push_configuration(self):
@@ -489,14 +534,27 @@ class Coordinator(RemoteNode):
             callback(config)
 
     def _create_dirty_lists(self, creates: List[tuple]):
-        """Initialize marker-bearing dirty lists on the new secondaries."""
-        for secondary, fragment_id in creates:
+        """Initialize marker-bearing dirty lists on the new secondaries.
+
+        ``creates`` entries are ``(secondary, fragment_id, fresh)``;
+        ``fresh=False`` marks a resumed episode (Figure 4 arrow 5) whose
+        list must survive from before — if the instance cannot certify
+        that (missing or partial list) the fragment is unrecoverable.
+        """
+        for secondary, fragment_id, fresh in creates:
             try:
-                yield self.network.call(
+                complete = yield self.network.call(
                     secondary,
                     CacheOp(op="create_dirty", fragment_id=fragment_id,
-                            client_cfg_id=self._config_id))
+                            client_cfg_id=self._config_id,
+                            payload={"fresh": fresh}))
             except (NetworkError, StaleConfiguration):
+                self.notify_dirty_lost(fragment_id)
+                continue
+            if not complete:
+                # The resumed episode's log lost its prefix while the
+                # fragment was in recovery mode (eviction): give up on it
+                # now rather than letting recovery trust a reset list.
                 self.notify_dirty_lost(fragment_id)
 
     # ------------------------------------------------------------------

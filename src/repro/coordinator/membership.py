@@ -27,7 +27,9 @@ class HeartbeatMonitor:
                  instances: List[str], interval: float = 0.5,
                  misses_to_fail: int = 2, rpc_timeout: float = 0.2):
         self.sim = sim
-        self.network = network
+        # The monitor is coordinator-colocated: a coordinator<->instance
+        # partition makes it (correctly) perceive the instance as failed.
+        self.network = network.bound(coordinator.address)
         self.coordinator = coordinator
         self.instances = list(instances)
         self.interval = interval

@@ -44,6 +44,7 @@ class CoordinatorEnsemble:
                 address=f"{master.address}-shadow-{index}",
                 initial_config_id=master.current.config_id,
                 monitor_interval=master.monitor_interval,
+                event_log=master.event_log,
             )
             network.register(shadow)
             self.shadows.append(shadow)

@@ -30,6 +30,8 @@ from repro.sim.failures import FailureInjector
 from repro.sim.network import LatencyModel, Network
 from repro.sim.rng import RngRegistry
 from repro.types import Value
+from repro.verify.events import EventLog
+from repro.verify.invariants import InvariantRegistry, default_invariants
 from repro.verify.oracle import ConsistencyOracle
 
 __all__ = ["ClusterSpec", "GeminiCluster"]
@@ -63,6 +65,9 @@ class ClusterSpec:
     num_shadow_coordinators: int = 0
     strict_oracle: bool = False
     heartbeat: bool = False
+    #: Emit the structured protocol-event stream (verify.events). Cheap;
+    #: required by the invariant checkers and the chaos engine.
+    events: bool = True
 
     @property
     def num_fragments(self) -> int:
@@ -81,6 +86,8 @@ class GeminiCluster:
             LatencyModel(self.rng.stream("latency"),
                          base=spec.latency_base, jitter=spec.latency_jitter))
         self.oracle = ConsistencyOracle(strict=spec.strict_oracle)
+        self.events: Optional[EventLog] = (
+            EventLog(clock=lambda: self.sim.now) if spec.events else None)
         self.recorder = OpRecorder()
         self.recovery_recorder = RecoveryRecorder()
         self.datastore = DataStore(
@@ -103,14 +110,16 @@ class GeminiCluster:
                 iq_lifetime=spec.iq_lifetime,
                 red_lifetime=spec.red_lifetime,
                 servers=spec.instance_servers,
-                base_service_time=spec.instance_service_time)
+                base_service_time=spec.instance_service_time,
+                event_log=self.events)
             self.instances[address] = instance
             self.network.register(instance)
 
         self.coordinator = Coordinator(
             self.sim, self.network, self.instance_addresses,
             spec.num_fragments, spec.policy,
-            monitor_interval=spec.monitor_interval)
+            monitor_interval=spec.monitor_interval,
+            event_log=self.events)
         self.network.register(self.coordinator)
         self.ensemble: Optional[CoordinatorEnsemble] = None
         if spec.num_shadow_coordinators > 0:
@@ -127,7 +136,8 @@ class GeminiCluster:
                 self.sim, self.network, spec.policy,
                 name=f"client-{index}",
                 oracle=self.oracle, recorder=self.recorder,
-                rng=self.rng.stream(f"client-{index}"))
+                rng=self.rng.stream(f"client-{index}"),
+                event_log=self.events)
             client.cache.adopt(self.coordinator.current)
             self.coordinator.subscribe(client.on_config)
             self.clients.append(client)
@@ -138,7 +148,8 @@ class GeminiCluster:
                 self.sim, self.network, spec.policy,
                 name=f"worker-{index}",
                 rng=self.rng.stream(f"worker-{index}"),
-                recovery_recorder=self.recovery_recorder)
+                recovery_recorder=self.recovery_recorder,
+                event_log=self.events)
             worker.on_config(self.coordinator.current)
             self.coordinator.subscribe(worker.on_config)
             self.workers.append(worker)
@@ -158,6 +169,23 @@ class GeminiCluster:
             total["hits"] += counts["hits"]
             total["misses"] += counts["misses"]
         return total
+
+    def install_invariants(self, invariants=None) -> InvariantRegistry:
+        """Attach protocol-invariant checkers to the event stream.
+
+        Registers :func:`repro.verify.invariants.default_invariants`
+        (including the read-after-write oracle adapter) unless an
+        explicit checker list is given. Requires ``spec.events``.
+        """
+        if self.events is None:
+            raise SimulationError(
+                "invariant checking needs the event stream; build the "
+                "cluster with ClusterSpec(events=True)")
+        registry = InvariantRegistry(self.events)
+        registry.register_all(
+            default_invariants(self.oracle) if invariants is None
+            else invariants)
+        return registry
 
     def start(self) -> None:
         """Start background services (monitors, workers, heartbeats)."""

@@ -65,9 +65,12 @@ class RecoveryWorker:
                  name: str = "worker",
                  scan_interval: float = 0.05,
                  rng: Optional[random.Random] = None,
-                 recovery_recorder: Optional[RecoveryRecorder] = None):
+                 recovery_recorder: Optional[RecoveryRecorder] = None,
+                 event_log=None):
         self.sim = sim
-        self.network = network
+        #: Optional structured protocol-event stream (verify.events).
+        self.event_log = event_log
+        self.network = network.bound(name)
         self.policy = policy
         self.coordinator_address = coordinator_address
         self.name = name
@@ -92,6 +95,9 @@ class RecoveryWorker:
         """Coordinator push subscription."""
         if self.config is None or config.config_id > self.config.config_id:
             self.config = config
+            if self.event_log is not None:
+                self.event_log.emit("config_observed", actor=self.name,
+                                    config_id=config.config_id)
 
     def start(self) -> None:
         if self._process is None:

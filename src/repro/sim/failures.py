@@ -18,12 +18,12 @@ executes the schedule against a set of nodes and invokes observer hooks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import SimulationError
 from repro.sim.core import Simulator
 
-__all__ = ["FailureSchedule", "FailureInjector"]
+__all__ = ["FailureSchedule", "FailureInjector", "check_overlap"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,30 @@ class FailureSchedule:
         return self.at + self.duration
 
 
+def check_overlap(schedules: Sequence[FailureSchedule]) -> None:
+    """Reject schedules whose outage windows overlap on the same target.
+
+    Two outages of the same address with intersecting ``[at, recovers_at)``
+    windows would make the injector's fail/recover pairing ambiguous (the
+    first recovery would "revive" a node the second outage still holds
+    down). A permanent outage (``duration=None``) overlaps everything at or
+    after its start.
+    """
+    windows: Dict[str, List[tuple]] = {}
+    for schedule in schedules:
+        for address in schedule.targets:
+            windows.setdefault(address, []).append(
+                (schedule.at, schedule.recovers_at))
+    for address, spans in windows.items():
+        spans.sort(key=lambda s: (s[0], s[1] is not None, s[1]))
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            if a_end is None or b_start < a_end:
+                raise SimulationError(
+                    f"overlapping outages for {address!r}: "
+                    f"[{a_start}, {a_end}) and one starting at {b_start}"
+                )
+
+
 class FailureInjector:
     """Executes :class:`FailureSchedule` entries against named nodes.
 
@@ -70,12 +94,16 @@ class FailureInjector:
         self._nodes = dict(nodes or {})
         self._observers: List[Callable[[str, str], None]] = []
         self.log: List[tuple] = []
+        self._down: Set[str] = set()
 
     def add_node(self, address: str, node) -> None:
         self._nodes[address] = node
 
     def subscribe(self, observer: Callable[[str, str], None]) -> None:
         self._observers.append(observer)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
 
     def apply(self, schedule: FailureSchedule) -> None:
         """Arm one outage; fail/recover callbacks fire at the right times."""
@@ -86,7 +114,10 @@ class FailureInjector:
                     schedule.recovers_at, self._recover, address, schedule.emulated
                 )
 
-    def apply_all(self, schedules: Sequence[FailureSchedule]) -> None:
+    def apply_all(self, schedules: Sequence[FailureSchedule],
+                  allow_overlap: bool = False) -> None:
+        if not allow_overlap:
+            check_overlap(schedules)
         for schedule in schedules:
             self.apply(schedule)
 
@@ -97,6 +128,12 @@ class FailureInjector:
         self._recover(address, emulated)
 
     def _fail(self, address: str, emulated: bool) -> None:
+        if address in self._down:
+            # Already down: a second fail must not re-notify observers (the
+            # coordinator would start a second transient episode).
+            self.log.append((self.sim.now, "fail-redundant", address))
+            return
+        self._down.add(address)
         self.log.append((self.sim.now, "fail", address))
         node = self._nodes.get(address)
         if node is not None and not emulated:
@@ -105,6 +142,10 @@ class FailureInjector:
             observer("fail", address)
 
     def _recover(self, address: str, emulated: bool) -> None:
+        if address not in self._down:
+            self.log.append((self.sim.now, "recover-redundant", address))
+            return
+        self._down.discard(address)
         self.log.append((self.sim.now, "recover", address))
         node = self._nodes.get(address)
         if node is not None and not emulated:

@@ -13,18 +13,29 @@ effects:
   A node that is down makes callers wait out an RPC timeout and then see
   :class:`~repro.errors.HostUnreachable`, mirroring how a real client
   library observes a failed memcached server.
+
+The network also models **link faults** (used by the chaos engine):
+:meth:`Network.partition` / :meth:`Network.heal` cut both directions
+between two endpoints, :meth:`Network.drop_link` cuts one direction
+(asymmetric partition: the request is *delivered and executed* but the
+response never returns), and :meth:`Network.delay_link` adds a latency
+spike. Rules are keyed by ``(source, destination)`` names where either
+side may be the wildcard ``"*"``. Callers identify themselves by issuing
+RPCs through a :meth:`Network.bound` handle; anonymous calls only match
+wildcard-source rules.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import HostUnreachable, RequestTimeout, SimulationError
 from repro.sim.core import Event, Simulator
 
-__all__ = ["LatencyModel", "ServiceStation", "RemoteNode", "Network"]
+__all__ = ["LatencyModel", "ServiceStation", "RemoteNode", "Network",
+           "NetworkHandle"]
 
 
 class LatencyModel:
@@ -163,6 +174,10 @@ class Network:
         )
         self._nodes: Dict[str, RemoteNode] = {}
         self.messages_sent = 0
+        #: Link-fault rules: ``(src, dst)`` patterns, ``"*"`` wildcards.
+        self._link_drop: Set[Tuple[str, str]] = set()
+        self._link_delay: Dict[Tuple[str, str], float] = {}
+        self.messages_dropped = 0
 
     def register(self, node: RemoteNode) -> None:
         if node.address in self._nodes:
@@ -175,16 +190,81 @@ class Network:
         except KeyError:
             raise HostUnreachable(address, f"unknown address {address!r}") from None
 
-    def call(self, address: str, request: Any, timeout: Optional[float] = None):
+    def bound(self, source: str) -> "NetworkHandle":
+        """A facade whose RPCs carry ``source`` as the caller identity."""
+        return NetworkHandle(self, source)
+
+    # ------------------------------------------------------------------
+    # Link faults (network partitions, asymmetric drops, delay spikes)
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Cut both directions between endpoints ``a`` and ``b``."""
+        self.drop_link(a, b)
+        self.drop_link(b, a)
+
+    def heal(self, a: str, b: str) -> None:
+        """Undo :meth:`partition` (and any one-way rules between a, b)."""
+        self.heal_link(a, b)
+        self.heal_link(b, a)
+
+    def drop_link(self, src: str, dst: str) -> None:
+        """Drop messages flowing ``src -> dst`` (asymmetric partition)."""
+        self._link_drop.add((src, dst))
+
+    def heal_link(self, src: str, dst: str) -> None:
+        self._link_drop.discard((src, dst))
+        self._link_delay.pop((src, dst), None)
+
+    def delay_link(self, src: str, dst: str, extra: float) -> None:
+        """Add ``extra`` seconds of one-way latency on ``src -> dst``."""
+        if extra < 0:
+            raise SimulationError("link delay must be non-negative")
+        self._link_delay[(src, dst)] = extra
+
+    def heal_all(self) -> None:
+        self._link_drop.clear()
+        self._link_delay.clear()
+
+    @staticmethod
+    def _matches(pattern: str, name: Optional[str]) -> bool:
+        return pattern == "*" or (name is not None and pattern == name)
+
+    def link_dropped(self, src: Optional[str], dst: Optional[str]) -> bool:
+        if not self._link_drop:
+            return False
+        return any(self._matches(ps, src) and self._matches(pd, dst)
+                   for ps, pd in self._link_drop)
+
+    def link_delay(self, src: Optional[str], dst: Optional[str]) -> float:
+        if not self._link_delay:
+            return 0.0
+        matching = [extra for (ps, pd), extra in self._link_delay.items()
+                    if self._matches(ps, src) and self._matches(pd, dst)]
+        return max(matching, default=0.0)
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def call(self, address: str, request: Any, timeout: Optional[float] = None,
+             source: Optional[str] = None):
         """Issue an RPC; returns an event yielding the response.
 
         Implemented as a callback state machine (not a process) because
-        RPCs dominate the kernel's event traffic.
+        RPCs dominate the kernel's event traffic. ``source`` names the
+        caller for link-fault matching (see :meth:`bound`).
         """
         done = self.sim.event()
         self.messages_sent += 1
-        self.sim.schedule(self.latency.sample(), self._arrive,
-                          address, request, done)
+        if self.link_dropped(source, address):
+            # The request never reaches the destination; the caller waits
+            # out the RPC timeout exactly as against a dead host.
+            self.messages_dropped += 1
+            self.sim.schedule(self.unreachable_delay, self._settle,
+                              done, None, HostUnreachable(address))
+        else:
+            self.sim.schedule(
+                self.latency.sample() + self.link_delay(source, address),
+                self._arrive, address, request, done, source)
         if timeout is None:
             return done
         return self.sim.process(self._with_timeout(done, timeout),
@@ -197,7 +277,8 @@ class Network:
             raise RequestTimeout(f"rpc exceeded {timeout}s")
         return value
 
-    def _arrive(self, address: str, request: Any, done: Event) -> None:
+    def _arrive(self, address: str, request: Any, done: Event,
+                source: Optional[str] = None) -> None:
         node = self._nodes.get(address)
         if node is None or not node.up:
             # The caller's RPC times out against a dead host.
@@ -205,10 +286,11 @@ class Network:
                               done, None, HostUnreachable(address))
             return
         served = node.station.submit(node.service_time(request))
-        served.add_callback(lambda event: self._serve(node, request, done, event))
+        served.add_callback(
+            lambda event: self._serve(node, request, done, event, source))
 
     def _serve(self, node: RemoteNode, request: Any, done: Event,
-               served: Event) -> None:
+               served: Event, source: Optional[str] = None) -> None:
         if not served.ok or not node.up:
             # The node died while our request was queued or in service.
             self.sim.schedule(self.unreachable_delay, self._settle,
@@ -217,25 +299,39 @@ class Network:
         try:
             result = node.handle_request(request)
         except BaseException as exc:  # noqa: BLE001 - app errors travel back
-            self.sim.schedule(self.latency.sample(), self._settle,
-                              done, None, exc)
+            self._reply(node.address, source, done, None, exc)
             return
         if hasattr(result, "send"):
             # Generator handler: it consumes further simulated time.
             handler = self.sim.process(result, name=f"handler:{node.address}")
             handler.add_callback(
-                lambda event: self._settle_from_handler(done, event))
+                lambda event: self._settle_from_handler(
+                    node.address, source, done, event))
             return
-        self.sim.schedule(self.latency.sample(), self._settle,
-                          done, result, None)
+        self._reply(node.address, source, done, result, None)
 
-    def _settle_from_handler(self, done: Event, handler: Event) -> None:
+    def _settle_from_handler(self, node_address: str, source: Optional[str],
+                             done: Event, handler: Event) -> None:
         if handler.ok:
-            self.sim.schedule(self.latency.sample(), self._settle,
-                              done, handler.value, None)
+            self._reply(node_address, source, done, handler.value, None)
         else:
-            self.sim.schedule(self.latency.sample(), self._settle,
-                              done, None, handler._exception)
+            self._reply(node_address, source, done, None, handler._exception)
+
+    def _reply(self, node_address: str, source: Optional[str], done: Event,
+               value: Any, exc: Optional[BaseException]) -> None:
+        """Route a response back, honouring reverse-direction link faults.
+
+        On an asymmetric partition the handler has already executed its
+        side effects; the caller merely never learns the outcome.
+        """
+        if self.link_dropped(node_address, source):
+            self.messages_dropped += 1
+            self.sim.schedule(self.unreachable_delay, self._settle,
+                              done, None, HostUnreachable(node_address))
+            return
+        self.sim.schedule(
+            self.latency.sample() + self.link_delay(node_address, source),
+            self._settle, done, value, exc)
 
     @staticmethod
     def _settle(done: Event, value: Any, exc: Optional[BaseException]) -> None:
@@ -245,3 +341,30 @@ class Network:
             done.fail(exc)
         else:
             done.succeed(value)
+
+
+class NetworkHandle:
+    """A :class:`Network` facade with a fixed caller identity.
+
+    Components issue their RPCs through a handle so that per-link fault
+    rules (partitions, asymmetric drops, delay spikes) can target traffic
+    *from* that component. Everything except :meth:`call` delegates to the
+    underlying network, so a handle is a drop-in replacement.
+    """
+
+    __slots__ = ("_network", "source")
+
+    def __init__(self, network: Network, source: str):
+        self._network = network
+        self.source = source
+
+    def call(self, address: str, request: Any,
+             timeout: Optional[float] = None):
+        return self._network.call(address, request, timeout,
+                                  source=self.source)
+
+    def bound(self, source: str) -> "NetworkHandle":
+        return NetworkHandle(self._network, source)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._network, name)

@@ -1,5 +1,22 @@
-"""Consistency verification (the paper's Polygraph)."""
+"""Consistency verification (the paper's Polygraph) and protocol
+invariants (chaos-engine checkers)."""
 
+from repro.verify.events import EventLog, ProtocolEvent
+from repro.verify.invariants import (
+    Invariant,
+    InvariantRegistry,
+    Violation,
+    default_invariants,
+)
 from repro.verify.oracle import ConsistencyOracle, ReadRecord
 
-__all__ = ["ConsistencyOracle", "ReadRecord"]
+__all__ = [
+    "ConsistencyOracle",
+    "ReadRecord",
+    "EventLog",
+    "ProtocolEvent",
+    "Invariant",
+    "InvariantRegistry",
+    "Violation",
+    "default_invariants",
+]

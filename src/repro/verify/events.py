@@ -1,0 +1,97 @@
+"""Structured protocol-event stream.
+
+Components emit :class:`ProtocolEvent` records through a shared
+:class:`EventLog` — one per cluster, clocked by the simulator — and
+invariant checkers (:mod:`repro.verify.invariants`) subscribe to the
+stream. Emission is cheap and allocation-light; a cluster built without
+an event log skips it entirely (every emitter takes ``event_log=None``).
+
+Event kinds currently emitted:
+
+====================  ==============================================
+kind                  fields
+====================  ==============================================
+``config_commit``     ``actor`` (coordinator address), ``config``
+``config_observed``   ``actor``, ``config_id``
+``transient_begin``   ``fragment_id``, ``episode``, ``secondary``
+``transient_write``   ``actor``, ``fragment_id``, ``episode``,
+                      ``key``, ``complete``
+``recovery_dirty``    ``fragment_id``, ``episode``, ``secondary``,
+                      ``keys`` (tuple), ``complete``
+``fragment_discarded``  ``fragment_id``
+``fragment_unrecoverable``  ``fragment_id``
+``dirty_done``        ``fragment_id``
+``dirty_lost``        ``fragment_id``
+``dirty_created``     ``address``, ``fragment_id``, ``marker``,
+                      ``preserved``
+``dirty_recreated``   ``address``, ``fragment_id``
+``dirty_evicted``     ``address``, ``fragment_id``
+``dirty_deleted``     ``address``, ``fragment_id``
+``red_acquired``      ``address``, ``fragment_id``, ``token``,
+                      ``expires_at``
+``red_released``      ``address``, ``fragment_id``, ``token``
+``leases_cleared``    ``address`` (real crash wiped DRAM state)
+``instance_wiped``    ``address``
+====================  ==============================================
+
+An *episode* identifies one outage of a fragment: the ``cfg_id`` the
+coordinator stamped when it entered transient mode. A repeated failure
+before recovery completes (Figure 4 arrow 5) keeps the restored floor
+and therefore the same episode — the dirty list keeps covering the
+whole outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ProtocolEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One structured protocol event."""
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.data.get(name, default)
+
+    def __repr__(self) -> str:  # compact, for violation messages
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"<{self.kind} t={self.time:.6f} {fields}>"
+
+
+class EventLog:
+    """Append-only event stream with synchronous subscribers.
+
+    ``clock`` supplies timestamps (wire the simulator's ``now`` in);
+    ``keep=False`` disables retention for long runs where only the
+    online checkers matter.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 keep: bool = True):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.keep = keep
+        self.events: List[ProtocolEvent] = []
+        self._subscribers: List[Callable[[ProtocolEvent], None]] = []
+        self.emitted = 0
+
+    def subscribe(self, callback: Callable[[ProtocolEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, **data: Any) -> ProtocolEvent:
+        event = ProtocolEvent(self._clock(), kind, data)
+        self.emitted += 1
+        if self.keep:
+            self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[ProtocolEvent]:
+        return [e for e in self.events if e.kind == kind]

@@ -1,0 +1,426 @@
+"""Pluggable protocol-invariant checkers.
+
+Each :class:`Invariant` consumes the structured protocol-event stream
+(:mod:`repro.verify.events`) online and reports :class:`Violation`
+records — either immediately from :meth:`Invariant.on_event` or at the
+end of a run from :meth:`Invariant.finish`. The
+:class:`InvariantRegistry` fans events out to every registered checker
+and collects what they find.
+
+The default set (:func:`default_invariants`) goes beyond the
+read-after-write oracle:
+
+* **monotone-config** — every actor (client, worker, coordinator)
+  observes/commits strictly increasing configuration ids.
+* **config-structure** — each committed configuration is well formed:
+  a fragment always has a primary, primary != secondary, fragment
+  validity floors never exceed the configuration id, no fragment jumps
+  straight from normal to recovery mode, and a floor only moves
+  backwards when a fragment enters recovery (the restored floor of the
+  Gemini policy; the StaleCache baseline intentionally breaks this).
+* **dirty-completeness** — every key confirmed written during an
+  outage episode appears in the dirty-list snapshot recovery consumed.
+* **marker-integrity** — no complete-looking dirty list is consumed
+  (by an append acknowledgement or by recovery) after eviction
+  pressure destroyed its marker.
+* **redlease-exclusion** — at most one unexpired Redlease holder per
+  fragment dirty list (cleared by a real crash, which wipes DRAM).
+* **read-after-write** — adapter over the
+  :class:`~repro.verify.oracle.ConsistencyOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.types import FragmentMode
+from repro.verify.events import EventLog, ProtocolEvent
+
+__all__ = [
+    "Violation",
+    "Invariant",
+    "InvariantRegistry",
+    "MonotoneConfigInvariant",
+    "ConfigStructureInvariant",
+    "DirtyCompletenessInvariant",
+    "MarkerIntegrityInvariant",
+    "RedleaseExclusionInvariant",
+    "ReadAfterWriteInvariant",
+    "default_invariants",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach."""
+
+    invariant: str
+    time: float
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] t={self.time:.6f}: {self.message}"
+
+
+class Invariant:
+    """Base class: override :meth:`on_event` and/or :meth:`finish`."""
+
+    name = "invariant"
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        return []
+
+    def finish(self) -> List[Violation]:
+        return []
+
+    def _violation(self, time: float, message: str) -> Violation:
+        return Violation(self.name, time, message)
+
+
+class InvariantRegistry:
+    """Fans the event stream out to checkers and collects violations."""
+
+    def __init__(self, event_log: EventLog):
+        self.event_log = event_log
+        self.invariants: List[Invariant] = []
+        self.violations: List[Violation] = []
+        self._finished = False
+        event_log.subscribe(self._dispatch)
+
+    def register(self, invariant: Invariant) -> Invariant:
+        self.invariants.append(invariant)
+        return invariant
+
+    def register_all(self, invariants) -> None:
+        for invariant in invariants:
+            self.register(invariant)
+
+    def _dispatch(self, event: ProtocolEvent) -> None:
+        for invariant in self.invariants:
+            found = invariant.on_event(event)
+            if found:
+                self.violations.extend(found)
+
+    def finish(self) -> List[Violation]:
+        """Run end-of-trial checks once; returns ALL violations."""
+        if not self._finished:
+            self._finished = True
+            for invariant in self.invariants:
+                found = invariant.finish()
+                if found:
+                    self.violations.extend(found)
+        return self.violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+class MonotoneConfigInvariant(Invariant):
+    """Configuration ids move strictly forward per actor.
+
+    Clients and workers only emit ``config_observed`` on adoption, and
+    a coordinator's commits continue its own sequence; a promoted
+    shadow starts a fresh per-actor sequence from its replicated
+    snapshot (which may legitimately lag the dead master's last
+    commit), so tracking is per actor, not global.
+    """
+
+    name = "monotone-config"
+
+    def __init__(self):
+        self._last: Dict[str, int] = {}
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        if event.kind == "config_observed":
+            config_id = event.get("config_id")
+        elif event.kind == "config_commit":
+            config_id = event.get("config").config_id
+        else:
+            return []
+        actor = event.get("actor")
+        last = self._last.get(actor)
+        self._last[actor] = max(config_id, last or 0)
+        if last is not None and config_id <= last:
+            return [self._violation(
+                event.time,
+                f"{actor} moved from configuration {last} to {config_id} "
+                f"(ids must be strictly increasing per actor)")]
+        return []
+
+
+class ConfigStructureInvariant(Invariant):
+    """Structural checks on every committed configuration."""
+
+    name = "config-structure"
+
+    #: Legal per-fragment mode transitions (Figure 4). A fragment never
+    #: jumps from normal straight to recovery: an outage always passes
+    #: through transient mode first.
+    _LEGAL = {
+        FragmentMode.NORMAL: {FragmentMode.NORMAL, FragmentMode.TRANSIENT},
+        FragmentMode.TRANSIENT: {FragmentMode.TRANSIENT, FragmentMode.NORMAL,
+                                 FragmentMode.RECOVERY},
+        FragmentMode.RECOVERY: {FragmentMode.RECOVERY, FragmentMode.NORMAL,
+                                FragmentMode.TRANSIENT},
+    }
+
+    def __init__(self):
+        # Per coordinator actor: fragment_id -> last committed FragmentInfo.
+        self._prev: Dict[str, Dict[int, Any]] = {}
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        if event.kind != "config_commit":
+            return []
+        config = event.get("config")
+        actor = event.get("actor")
+        violations: List[Violation] = []
+        prev = self._prev.setdefault(actor, {})
+        for fragment in config.fragments:
+            fid = fragment.fragment_id
+            if fragment.primary is None:
+                violations.append(self._violation(
+                    event.time,
+                    f"config {config.config_id}: fragment {fid} has no "
+                    f"primary"))
+            if (fragment.secondary is not None
+                    and fragment.secondary == fragment.primary):
+                violations.append(self._violation(
+                    event.time,
+                    f"config {config.config_id}: fragment {fid} has "
+                    f"{fragment.primary!r} as both primary and secondary"))
+            if fragment.cfg_id > config.config_id:
+                violations.append(self._violation(
+                    event.time,
+                    f"config {config.config_id}: fragment {fid} validity "
+                    f"floor {fragment.cfg_id} exceeds the configuration id"))
+            if (fragment.mode is FragmentMode.TRANSIENT
+                    and fragment.secondary is None):
+                violations.append(self._violation(
+                    event.time,
+                    f"config {config.config_id}: fragment {fid} is in "
+                    f"transient mode with no secondary"))
+            before = prev.get(fid)
+            if before is not None:
+                if fragment.mode not in self._LEGAL[before.mode]:
+                    violations.append(self._violation(
+                        event.time,
+                        f"config {config.config_id}: fragment {fid} jumped "
+                        f"{before.mode.name} -> {fragment.mode.name}"))
+                if (fragment.cfg_id < before.cfg_id
+                        and fragment.mode is not FragmentMode.RECOVERY):
+                    violations.append(self._violation(
+                        event.time,
+                        f"config {config.config_id}: fragment {fid} floor "
+                        f"moved back {before.cfg_id} -> {fragment.cfg_id} "
+                        f"outside recovery mode"))
+            prev[fid] = fragment
+        return violations
+
+
+class DirtyCompletenessInvariant(Invariant):
+    """Confirmed transient writes must appear in the recovery snapshot.
+
+    In the live protocol a key never individually leaves the
+    authoritative dirty list (repair deletes the whole list at the
+    end), so *pending-writes ⊆ snapshot-at-recovery* is exact: the set
+    of keys confirmed written during an episode must be covered by the
+    dirty-list snapshot the coordinator captured when recovery began.
+    Pending state is dropped whenever the protocol legitimately gives
+    up on the episode (discard, dirty-lost, unrecoverable) or finishes
+    repairing it (dirty-done).
+    """
+
+    name = "dirty-completeness"
+
+    def __init__(self):
+        self._episode: Dict[int, int] = {}
+        self._pending: Dict[int, Set[str]] = {}
+        self._doomed: Set[int] = set()
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        kind = event.kind
+        if kind == "transient_begin":
+            fid = event.get("fragment_id")
+            if not event.get("resumed", False):
+                # Fresh episode: prior pending state was settled by the
+                # close of the previous one.
+                self._pending[fid] = set()
+                self._doomed.discard(fid)
+            self._episode[fid] = event.get("episode")
+        elif kind == "transient_write":
+            fid = event.get("fragment_id")
+            if event.get("episode") != self._episode.get(fid):
+                return []  # stale session; its append bounced elsewhere
+            if event.get("complete"):
+                self._pending.setdefault(fid, set()).add(event.get("key"))
+            else:
+                # Marker loss detected: the protocol owes a discard, not
+                # a recovery, so completeness is off the hook.
+                self._doomed.add(fid)
+                self._pending.get(fid, set()).clear()
+        elif kind == "recovery_dirty":
+            fid = event.get("fragment_id")
+            if fid in self._doomed:
+                return []
+            if event.get("episode") != self._episode.get(fid):
+                return []
+            pending = self._pending.get(fid, set())
+            missing = pending - set(event.get("keys", ()))
+            self._pending[fid] = set()
+            if missing:
+                sample = ", ".join(sorted(missing)[:5])
+                return [self._violation(
+                    event.time,
+                    f"fragment {fid} episode {event.get('episode')}: "
+                    f"{len(missing)} confirmed transient write(s) missing "
+                    f"from the recovery dirty list (e.g. {sample})")]
+        elif kind in ("fragment_discarded", "dirty_lost", "dirty_done",
+                      "fragment_unrecoverable"):
+            fid = event.get("fragment_id")
+            self._pending.pop(fid, None)
+            self._doomed.discard(fid)
+        return []
+
+
+class MarkerIntegrityInvariant(Invariant):
+    """Nothing may treat a marker-less dirty list as complete.
+
+    Mirrors each instance's dirty-list marker state from instance-side
+    events (created / recreated-after-eviction / evicted / deleted).
+    Two consumers must agree with the mirror:
+
+    * a transient append acknowledged as *complete* while the mirror
+      says the list lost its marker;
+    * a recovery that consumed a *complete* snapshot from an address
+      whose list the mirror says is partial or gone.
+    """
+
+    name = "marker-integrity"
+
+    _COMPLETE = "complete"
+    _PARTIAL = "partial"
+    _ABSENT = "absent"
+
+    def __init__(self):
+        self._state: Dict[Tuple[str, int], str] = {}
+
+    def _set(self, address: str, fid: int, state: str) -> None:
+        self._state[(address, fid)] = state
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        kind = event.kind
+        if kind == "dirty_created":
+            marker = event.get("marker") or event.get("preserved")
+            self._set(event.get("address"), event.get("fragment_id"),
+                      self._COMPLETE if marker else self._PARTIAL)
+        elif kind == "dirty_recreated":
+            self._set(event.get("address"), event.get("fragment_id"),
+                      self._PARTIAL)
+        elif kind in ("dirty_evicted", "dirty_deleted"):
+            self._set(event.get("address"), event.get("fragment_id"),
+                      self._ABSENT)
+        elif kind == "instance_wiped":
+            address = event.get("address")
+            for key in [k for k in self._state if k[0] == address]:
+                self._state[key] = self._ABSENT
+        elif kind == "transient_write":
+            if not event.get("complete"):
+                return []
+            address = event.get("address")
+            fid = event.get("fragment_id")
+            state = self._state.get((address, fid), self._ABSENT)
+            if state != self._COMPLETE:
+                return [self._violation(
+                    event.time,
+                    f"append to fragment {fid}'s dirty list on {address!r} "
+                    f"acknowledged complete but the list is {state} "
+                    f"(marker destroyed by eviction pressure)")]
+        elif kind == "recovery_dirty":
+            if not event.get("complete"):
+                return []
+            address = event.get("secondary")
+            if address is None:
+                return []
+            fid = event.get("fragment_id")
+            state = self._state.get((address, fid), self._ABSENT)
+            if state != self._COMPLETE:
+                return [self._violation(
+                    event.time,
+                    f"recovery of fragment {fid} consumed a complete-looking "
+                    f"dirty list from {address!r} whose list is {state}")]
+        return []
+
+
+class RedleaseExclusionInvariant(Invariant):
+    """At most one unexpired Redlease holder per fragment dirty list."""
+
+    name = "redlease-exclusion"
+
+    def __init__(self):
+        # (address, fragment_id) -> [token, expires_at, released]
+        self._holds: Dict[Tuple[str, int], List[Any]] = {}
+
+    def on_event(self, event: ProtocolEvent) -> List[Violation]:
+        kind = event.kind
+        if kind == "red_acquired":
+            key = (event.get("address"), event.get("fragment_id"))
+            prev = self._holds.get(key)
+            self._holds[key] = [event.get("token"),
+                                event.get("expires_at"), False]
+            if prev is not None and not prev[2] and event.time < prev[1]:
+                return [self._violation(
+                    event.time,
+                    f"Redlease on fragment {event.get('fragment_id')} at "
+                    f"{key[0]!r} granted while token {prev[0]} was still "
+                    f"live until t={prev[1]:.6f}")]
+        elif kind == "red_released":
+            key = (event.get("address"), event.get("fragment_id"))
+            hold = self._holds.get(key)
+            if hold is not None and hold[0] == event.get("token"):
+                hold[2] = True
+        elif kind == "leases_cleared":
+            # A real crash wiped the DRAM lease table.
+            address = event.get("address")
+            for key in [k for k in self._holds if k[0] == address]:
+                del self._holds[key]
+        return []
+
+
+class ReadAfterWriteInvariant(Invariant):
+    """Adapter over the consistency oracle's stale-read counters."""
+
+    name = "read-after-write"
+
+    def __init__(self, oracle):
+        self.oracle = oracle
+
+    def finish(self) -> List[Violation]:
+        if self.oracle is None or not self.oracle.stale_reads:
+            return []
+        detail = ""
+        if self.oracle.violations:
+            first = self.oracle.violations[0]
+            detail = (f"; first: {first.key!r} returned "
+                      f"v{first.returned_version}, expected "
+                      f"v{first.expected_version} at t={first.finish_time:.6f}")
+        return [self._violation(
+            0.0,
+            f"{self.oracle.stale_reads} stale read(s) out of "
+            f"{self.oracle.reads_checked}{detail}")]
+
+
+def default_invariants(oracle=None) -> List[Invariant]:
+    """The standard checker set for chaos trials."""
+    invariants: List[Invariant] = [
+        MonotoneConfigInvariant(),
+        ConfigStructureInvariant(),
+        DirtyCompletenessInvariant(),
+        MarkerIntegrityInvariant(),
+        RedleaseExclusionInvariant(),
+    ]
+    if oracle is not None:
+        invariants.append(ReadAfterWriteInvariant(oracle))
+    return invariants

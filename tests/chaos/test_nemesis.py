@@ -1,0 +1,84 @@
+"""Tests for nemesis-schedule generation and TrialSpec serialization."""
+
+import pytest
+
+from repro.chaos.nemesis import LINK_KINDS, NemesisAction, TrialSpec, derive_spec
+from repro.chaos.runner import CRASH_KINDS
+from repro.sim.failures import FailureSchedule, check_overlap
+
+SEEDS = range(40)
+
+
+class TestDeriveSpec:
+    def test_deterministic(self):
+        for seed in (0, 7, 1234):
+            assert derive_spec(seed).to_dict() == derive_spec(seed).to_dict()
+
+    def test_seeds_differ(self):
+        specs = {derive_spec(seed).to_json() for seed in SEEDS}
+        assert len(specs) == len(SEEDS)
+
+    def test_every_spec_has_an_outage(self):
+        for seed in SEEDS:
+            kinds = {a.kind for a in derive_spec(seed).actions}
+            assert kinds & set(CRASH_KINDS), f"seed {seed} never crashes"
+
+    def test_actions_sorted_and_in_window(self):
+        for seed in SEEDS:
+            spec = derive_spec(seed)
+            times = [a.at for a in spec.actions]
+            assert times == sorted(times)
+            for action in spec.actions:
+                assert 0.0 < action.at < spec.duration
+                assert action.duration >= 0.0
+
+    def test_crash_windows_never_overlap(self):
+        # The injector would reject overlapping windows; the generator
+        # must serialize them by construction.
+        for seed in SEEDS:
+            spec = derive_spec(seed)
+            schedules = [
+                FailureSchedule(at=a.at, duration=a.duration,
+                                targets=(a.target,), emulated=a.emulated)
+                for a in spec.actions if a.kind in CRASH_KINDS
+            ]
+            check_overlap(schedules)  # raises on violation
+
+    def test_link_faults_name_two_endpoints(self):
+        for seed in SEEDS:
+            for action in derive_spec(seed).actions:
+                if action.kind in LINK_KINDS:
+                    assert action.target and action.target2
+                    assert action.target != action.target2
+
+    def test_failover_only_with_shadows(self):
+        for seed in SEEDS:
+            spec = derive_spec(seed)
+            if any(a.kind == "failover" for a in spec.actions):
+                assert spec.num_shadows > 0
+
+    def test_even_record_count(self):
+        for seed in SEEDS:
+            assert derive_spec(seed).records % 2 == 0
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        spec = derive_spec(11)
+        restored = TrialSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.actions == spec.actions
+
+    def test_action_roundtrip(self):
+        action = NemesisAction("drop", 1.5, 2.0, "client-0", "cache-1",
+                               emulated=False, extra=0.01)
+        assert NemesisAction.from_dict(action.to_dict()) == action
+        assert action.ends_at == pytest.approx(3.5)
+
+    def test_replace_actions_does_not_mutate(self):
+        spec = derive_spec(3)
+        before = list(spec.actions)
+        trimmed = spec.replace_actions(spec.actions[:1])
+        assert spec.actions == before
+        assert len(trimmed.actions) == 1
+        assert trimmed.seed == spec.seed

@@ -1,0 +1,78 @@
+"""Tests for the chaos trial runner: wiring, determinism, fault arming."""
+
+from repro.chaos.nemesis import NemesisAction, TrialSpec, derive_spec
+from repro.chaos.runner import build_trial, run_trial
+
+
+def small_spec(seed=0, actions=(), **overrides):
+    defaults = dict(seed=seed, num_shadows=0, records=60, threads=2,
+                    duration=8.0, actions=list(actions))
+    defaults.update(overrides)
+    return TrialSpec(**defaults)
+
+
+class TestRunTrial:
+    def test_clean_trial_on_unmodified_protocol(self):
+        result = run_trial(small_spec(actions=[
+            NemesisAction("crash", 2.0, 1.5, "cache-0")]))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.ops_issued > 50
+        assert result.events_emitted > 0
+        assert result.reads_checked > 0
+        assert result.stale_reads == 0
+
+    def test_fingerprint_is_deterministic(self):
+        spec = derive_spec(4)
+        first = run_trial(spec)
+        second = run_trial(spec)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.ops_issued == second.ops_issued
+        assert first.events_emitted == second.events_emitted
+
+    def test_fingerprint_covers_the_spec(self):
+        spec = small_spec(actions=[NemesisAction("crash", 2.0, 1.0, "cache-0")])
+        shorter = spec.replace_actions(
+            [NemesisAction("crash", 2.0, 0.5, "cache-0")])
+        assert run_trial(spec).fingerprint() != run_trial(shorter).fingerprint()
+
+    def test_partition_drops_messages(self):
+        result = run_trial(small_spec(actions=[
+            NemesisAction("partition", 2.0, 2.0, "client-0", "cache-0")]))
+        assert result.messages_dropped > 0
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_failover_promotes_shadow(self):
+        result = run_trial(small_spec(num_shadows=1, actions=[
+            NemesisAction("failover", 3.0)]))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.final_config_id >= 0
+
+
+class TestBuildTrial:
+    def test_crash_actions_become_failure_schedules(self):
+        spec = small_spec(actions=[
+            NemesisAction("crash", 2.0, 1.0, "cache-1", emulated=False),
+            NemesisAction("flap", 4.0, 0.5, "cache-2"),
+        ])
+        cluster, experiment, registry, threads = build_trial(spec)
+        schedules = [f for f in experiment.failures
+                     if f.targets in (("cache-1",), ("cache-2",))]
+        assert len(schedules) == 2
+        assert {f.emulated for f in schedules} == {True, False}
+        assert len(threads) == spec.threads
+
+    def test_unknown_action_kind_rejected(self):
+        spec = small_spec(actions=[NemesisAction("meteor", 1.0)])
+        try:
+            build_trial(spec)
+        except ValueError as err:
+            assert "meteor" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("unknown kind accepted")
+
+    def test_invariant_registry_subscribed(self):
+        spec = small_spec()
+        cluster, experiment, registry, threads = build_trial(spec)
+        names = {type(i).__name__ for i in registry.invariants}
+        assert "MonotoneConfigInvariant" in names
+        assert "ReadAfterWriteInvariant" in names

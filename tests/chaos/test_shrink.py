@@ -1,0 +1,121 @@
+"""Tests for the ddmin schedule shrinker, plus the mutation smoke test.
+
+The synthetic tests drive ``shrink`` with a fake runner (no simulation);
+the smoke test is the acceptance criterion from the chaos-engine issue:
+a deliberately re-broken protocol variant must be caught within the
+seed budget, shrunk to a minimal schedule, and the shrunk spec must
+reproduce the same violation deterministically.
+"""
+
+import pytest
+
+from repro.chaos.nemesis import NemesisAction, TrialSpec, derive_spec
+from repro.chaos.runner import run_trial
+from repro.chaos.shrink import shrink
+from repro.verify.invariants import Violation
+
+
+def action(tag, at=1.0, duration=2.0):
+    return NemesisAction("crash", at, duration, tag)
+
+
+def fake_result(*invariants):
+    return type("R", (), {
+        "violations": [Violation(name, 0.0, "synthetic") for name in invariants]
+    })()
+
+
+class TestShrinkSynthetic:
+    """ddmin behaviour against a fake runner — no simulation involved."""
+
+    def _runner(self, trigger, record):
+        def run(spec):
+            record.append(len(spec.actions))
+            targets = {a.target for a in spec.actions}
+            return (fake_result("marker-integrity") if trigger <= targets
+                    else fake_result())
+        return run
+
+    def test_reduces_to_single_culprit(self):
+        spec = TrialSpec(seed=0, actions=[
+            action(f"cache-{i}", at=float(i)) for i in range(6)])
+        runs = []
+        run = self._runner({"cache-3"}, runs)
+        shrunk = shrink(spec, run(spec), run=run)
+        assert [a.target for a in shrunk.spec.actions] == ["cache-3"]
+        assert shrunk.removed_actions == 5
+        assert shrunk.runs == len(runs) - 1  # first call was ours
+
+    def test_keeps_interacting_pair(self):
+        spec = TrialSpec(seed=0, actions=[
+            action(f"cache-{i}", at=float(i)) for i in range(5)])
+        runs = []
+        run = self._runner({"cache-1", "cache-4"}, runs)
+        shrunk = shrink(spec, run(spec), run=run)
+        assert {a.target for a in shrunk.spec.actions} == {
+            "cache-1", "cache-4"}
+
+    def test_different_invariant_does_not_count(self):
+        # Removing the culprit surfaces a *different* violation; the
+        # shrinker must not chase it.
+        spec = TrialSpec(seed=0, actions=[action("cache-0"),
+                                          action("cache-1", at=4.0)])
+
+        def run(candidate):
+            targets = {a.target for a in candidate.actions}
+            if "cache-0" in targets:
+                return fake_result("redlease-exclusion")
+            return fake_result("dirty-completeness")
+
+        shrunk = shrink(spec, run(spec), run=run)
+        assert {a.target for a in shrunk.spec.actions} == {"cache-0"}
+
+    def test_respects_run_budget(self):
+        spec = TrialSpec(seed=0, actions=[
+            action(f"cache-{i}", at=float(i)) for i in range(8)])
+        runs = []
+        run = self._runner({"cache-7"}, runs)
+        shrunk = shrink(spec, run(spec), run=run, max_runs=3)
+        assert shrunk.runs <= 3
+
+    def test_shortens_durations(self):
+        spec = TrialSpec(seed=0, actions=[action("cache-0", duration=3.2)])
+
+        def run(candidate):
+            # Fails as long as the crash is present, whatever its length.
+            return (fake_result("marker-integrity") if candidate.actions
+                    else fake_result())
+
+        shrunk = shrink(spec, run(spec), run=run)
+        assert shrunk.spec.actions[0].duration < 1.0
+        assert shrunk.shortened_actions >= 3
+
+    def test_refuses_passing_trial(self):
+        spec = TrialSpec(seed=0, actions=[action("cache-0")])
+        with pytest.raises(ValueError):
+            shrink(spec, fake_result(), run=lambda s: fake_result())
+
+
+class TestMutationSmoke:
+    """Acceptance criterion: the engine catches a re-broken protocol."""
+
+    def test_mutant_detected_shrunk_and_replayed(self):
+        found = None
+        for seed in range(50):
+            spec = derive_spec(seed)
+            result = run_trial(spec, mutant="fresh-marker")
+            if not result.ok:
+                found = (spec, result)
+                break
+        assert found is not None, "mutant survived 50 seeds"
+        spec, result = found
+
+        shrunk = shrink(spec, result, mutant="fresh-marker", max_runs=16)
+        assert len(shrunk.spec.actions) <= len(spec.actions)
+        assert not shrunk.result.ok
+
+        # The minimal spec reproduces byte-for-byte.
+        replayed = run_trial(shrunk.spec, mutant="fresh-marker")
+        assert replayed.fingerprint() == shrunk.result.fingerprint()
+        wanted = {v.invariant for v in result.violations}
+        assert {v.invariant for v in replayed.violations} & wanted

@@ -220,3 +220,147 @@ class TestRpc:
         sim.run()
         assert all(p.ok for p in processes)
         assert sim.now == pytest.approx(3.0)
+
+
+class CountingNode(EchoNode):
+    """Echo node that counts how many requests actually executed."""
+
+    def __init__(self, sim, address="counted", service=1e-3):
+        super().__init__(sim, address, service=service)
+        self.handled = 0
+
+    def handle_request(self, request):
+        self.handled += 1
+        return super().handle_request(request)
+
+
+class TestLinkFaults:
+    """Partitions, asymmetric drops, and delay spikes (chaos engine)."""
+
+    def _call(self, sim, net, address, request, source=None, **kw):
+        caller = net.bound(source) if source is not None else net
+
+        def proc():
+            return (yield caller.call(address, request, **kw))
+        return sim.process(proc())
+
+    def test_partition_cuts_both_directions(self, sim):
+        net = make_net(sim)
+        node = CountingNode(sim)
+        net.register(node)
+        net.partition("client-a", "counted")
+        process = self._call(sim, net, "counted", "x", source="client-a")
+        sim.run()
+        assert not process.ok
+        with pytest.raises(HostUnreachable):
+            __ = process.value
+        assert node.handled == 0
+        assert net.messages_dropped == 1
+
+    def test_partition_spares_other_sources(self, sim):
+        net = make_net(sim)
+        net.register(CountingNode(sim))
+        net.partition("client-a", "counted")
+        process = self._call(sim, net, "counted", "x", source="client-b")
+        sim.run()
+        assert process.value == "x"
+
+    def test_heal_restores_traffic(self, sim):
+        net = make_net(sim)
+        net.register(CountingNode(sim))
+        net.partition("client-a", "counted")
+        net.heal("client-a", "counted")
+        process = self._call(sim, net, "counted", "x", source="client-a")
+        sim.run()
+        assert process.value == "x"
+
+    def test_asymmetric_drop_executes_but_loses_response(self, sim):
+        """The defining property of a one-way partition: the request is
+        delivered and executed; only the caller never learns."""
+        net = make_net(sim)
+        node = CountingNode(sim)
+        net.register(node)
+        net.drop_link("counted", "client-a")  # response direction only
+        process = self._call(sim, net, "counted", "x", source="client-a")
+        sim.run()
+        assert node.handled == 1
+        assert not process.ok
+        with pytest.raises(HostUnreachable):
+            __ = process.value
+
+    def test_request_direction_drop_never_executes(self, sim):
+        net = make_net(sim)
+        node = CountingNode(sim)
+        net.register(node)
+        net.drop_link("client-a", "counted")
+        process = self._call(sim, net, "counted", "x", source="client-a")
+        sim.run()
+        assert node.handled == 0
+        assert not process.ok
+
+    def test_wildcard_matches_anonymous_callers(self, sim):
+        net = make_net(sim)
+        net.register(CountingNode(sim))
+        net.drop_link("*", "counted")
+        anonymous = self._call(sim, net, "counted", "x")
+        named = self._call(sim, net, "counted", "x", source="someone")
+        sim.run()
+        assert not anonymous.ok and not named.ok
+
+    def test_named_rule_skips_anonymous_callers(self, sim):
+        net = make_net(sim)
+        net.register(CountingNode(sim))
+        net.drop_link("client-a", "counted")
+        process = self._call(sim, net, "counted", "x")
+        sim.run()
+        assert process.value == "x"
+
+    def test_delay_spike_adds_latency(self, sim):
+        net = make_net(sim, base=1e-3)
+        net.register(EchoNode(sim, service=5e-3))
+        baseline = self._call(sim, net, "echo", "x", source="client-a")
+        sim.run()
+        unperturbed = sim.now
+        net.delay_link("client-a", "echo", 0.25)
+        delayed = self._call(sim, net, "echo", "x", source="client-a")
+        sim.run()
+        assert baseline.ok and delayed.ok
+        assert sim.now == pytest.approx(unperturbed * 2 + 0.25)
+
+    def test_delay_applies_per_direction(self, sim):
+        net = make_net(sim, base=1e-3)
+        net.register(EchoNode(sim, service=5e-3))
+        net.delay_link("client-a", "echo", 0.1)
+        net.delay_link("echo", "client-a", 0.2)
+        process = self._call(sim, net, "echo", "x", source="client-a")
+        sim.run()
+        assert process.ok
+        assert sim.now == pytest.approx(1e-3 + 5e-3 + 1e-3 + 0.1 + 0.2)
+
+    def test_negative_delay_rejected(self, sim):
+        net = make_net(sim)
+        with pytest.raises(SimulationError):
+            net.delay_link("a", "b", -0.1)
+
+    def test_heal_all_clears_every_rule(self, sim):
+        net = make_net(sim)
+        net.register(CountingNode(sim))
+        net.drop_link("client-a", "counted")
+        net.delay_link("client-b", "counted", 0.5)
+        net.heal_all()
+        process = self._call(sim, net, "counted", "x", source="client-a")
+        sim.run()
+        assert process.value == "x"
+        assert not net.link_dropped("client-a", "counted")
+        assert net.link_delay("client-b", "counted") == 0.0
+
+    def test_bound_handle_delegates_everything_else(self, sim):
+        net = make_net(sim)
+        handle = net.bound("me")
+        assert handle.source == "me"
+        assert handle.sim is sim
+        rebound = handle.bound("other")
+        assert rebound.source == "other"
+        node = EchoNode(sim)
+        handle.register(node)
+        assert net.node("echo") is node

@@ -1,0 +1,48 @@
+"""Unit tests for the structured protocol-event stream."""
+
+from repro.verify.events import EventLog, ProtocolEvent
+
+
+class TestEventLog:
+    def test_emit_records_clock_and_data(self):
+        clock = {"now": 1.5}
+        log = EventLog(clock=lambda: clock["now"])
+        event = log.emit("config_observed", actor="client-0", config_id=3)
+        assert event.time == 1.5
+        assert event.kind == "config_observed"
+        assert event.get("actor") == "client-0"
+        assert event.get("missing", "default") == "default"
+        clock["now"] = 2.0
+        later = log.emit("dirty_done", fragment_id=1)
+        assert later.time == 2.0
+        assert log.events == [event, later]
+        assert log.emitted == 2
+
+    def test_subscribers_see_every_event_in_order(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(lambda e: seen.append(("a", e.kind)))
+        log.subscribe(lambda e: seen.append(("b", e.kind)))
+        log.emit("x")
+        log.emit("y")
+        assert seen == [("a", "x"), ("b", "x"), ("a", "y"), ("b", "y")]
+
+    def test_keep_false_disables_retention_not_delivery(self):
+        log = EventLog(keep=False)
+        seen = []
+        log.subscribe(lambda e: seen.append(e))
+        log.emit("x")
+        assert log.events == []
+        assert log.emitted == 1
+        assert len(seen) == 1
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        log.emit("a", n=3)
+        assert [e.get("n") for e in log.of_kind("a")] == [1, 3]
+
+    def test_repr_is_compact(self):
+        event = ProtocolEvent(1.25, "dirty_done", {"fragment_id": 7})
+        assert repr(event) == "<dirty_done t=1.250000 fragment_id=7>"

@@ -1,0 +1,398 @@
+"""Unit tests for the protocol-invariant checkers.
+
+Each test feeds a synthetic event stream into one checker and asserts on
+the violations (or their absence). The events mirror exactly what the
+instrumented components emit — see ``repro/verify/events.py`` for the
+catalogue.
+"""
+
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.types import FragmentMode
+from repro.verify.events import EventLog
+from repro.verify.invariants import (
+    ConfigStructureInvariant,
+    DirtyCompletenessInvariant,
+    InvariantRegistry,
+    MarkerIntegrityInvariant,
+    MonotoneConfigInvariant,
+    ReadAfterWriteInvariant,
+    RedleaseExclusionInvariant,
+    default_invariants,
+)
+
+
+def fragment(fid=0, primary="cache-0", secondary="cache-1",
+             mode=FragmentMode.NORMAL, cfg_id=1):
+    return FragmentInfo(fragment_id=fid, primary=primary,
+                        secondary=secondary, mode=mode, cfg_id=cfg_id)
+
+
+def config(config_id, *fragments):
+    return Configuration(config_id, list(fragments))
+
+
+class TestRegistry:
+    def test_fans_out_and_collects(self):
+        log = EventLog()
+        registry = InvariantRegistry(log)
+        registry.register_all([MonotoneConfigInvariant()])
+        log.emit("config_observed", actor="client-0", config_id=5)
+        log.emit("config_observed", actor="client-0", config_id=4)
+        assert len(registry.violations) == 1
+        assert not registry.ok
+
+    def test_finish_runs_once(self):
+        log = EventLog()
+        registry = InvariantRegistry(log)
+
+        class EndChecker(MonotoneConfigInvariant):
+            def finish(self):
+                return [self._violation(0.0, "end")]
+
+        registry.register(EndChecker())
+        assert len(registry.finish()) == 1
+        assert len(registry.finish()) == 1  # idempotent
+
+    def test_default_set_includes_oracle_adapter_only_with_oracle(self):
+        names = {type(i).__name__ for i in default_invariants()}
+        assert "ReadAfterWriteInvariant" not in names
+
+        class FakeOracle:
+            stale_reads = 0
+
+        names = {type(i).__name__ for i in default_invariants(FakeOracle())}
+        assert "ReadAfterWriteInvariant" in names
+
+
+class TestMonotoneConfig:
+    def test_increasing_ids_clean(self):
+        checker = MonotoneConfigInvariant()
+        log = EventLog()
+        for config_id in (1, 2, 5):
+            assert checker.on_event(
+                log.emit("config_observed", actor="w", config_id=config_id)
+            ) == []
+
+    def test_regression_violates(self):
+        checker = MonotoneConfigInvariant()
+        log = EventLog()
+        checker.on_event(log.emit("config_observed", actor="w", config_id=3))
+        found = checker.on_event(
+            log.emit("config_observed", actor="w", config_id=2))
+        assert len(found) == 1
+        assert "w moved from configuration 3 to 2" in found[0].message
+
+    def test_duplicate_id_violates(self):
+        checker = MonotoneConfigInvariant()
+        log = EventLog()
+        checker.on_event(log.emit("config_observed", actor="w", config_id=3))
+        assert checker.on_event(
+            log.emit("config_observed", actor="w", config_id=3))
+
+    def test_tracking_is_per_actor(self):
+        checker = MonotoneConfigInvariant()
+        log = EventLog()
+        checker.on_event(log.emit("config_observed", actor="a", config_id=9))
+        assert checker.on_event(
+            log.emit("config_observed", actor="b", config_id=1)) == []
+
+    def test_commit_events_tracked_too(self):
+        checker = MonotoneConfigInvariant()
+        log = EventLog()
+        checker.on_event(log.emit(
+            "config_commit", actor="coordinator",
+            config=config(4, fragment(cfg_id=2))))
+        assert checker.on_event(log.emit(
+            "config_commit", actor="coordinator",
+            config=config(3, fragment(cfg_id=2))))
+
+
+class TestConfigStructure:
+    def _commit(self, checker, cfg):
+        log = EventLog()
+        return checker.on_event(
+            log.emit("config_commit", actor="coordinator", config=cfg))
+
+    def test_well_formed_clean(self):
+        checker = ConfigStructureInvariant()
+        assert self._commit(checker, config(2, fragment(cfg_id=1))) == []
+
+    def test_missing_primary(self):
+        checker = ConfigStructureInvariant()
+        found = self._commit(checker, config(2, fragment(primary=None)))
+        assert any("no primary" in v.message for v in found)
+
+    def test_primary_equals_secondary(self):
+        checker = ConfigStructureInvariant()
+        found = self._commit(
+            checker, config(2, fragment(secondary="cache-0")))
+        assert any("both primary and secondary" in v.message for v in found)
+
+    def test_floor_above_config_id(self):
+        checker = ConfigStructureInvariant()
+        found = self._commit(checker, config(2, fragment(cfg_id=3)))
+        assert any("exceeds the configuration id" in v.message for v in found)
+
+    def test_transient_needs_secondary(self):
+        checker = ConfigStructureInvariant()
+        found = self._commit(checker, config(
+            2, fragment(mode=FragmentMode.TRANSIENT, secondary=None)))
+        assert any("no secondary" in v.message for v in found)
+
+    def test_normal_to_recovery_jump_violates(self):
+        checker = ConfigStructureInvariant()
+        assert self._commit(checker, config(1, fragment())) == []
+        found = self._commit(
+            checker, config(2, fragment(mode=FragmentMode.RECOVERY)))
+        assert any("jumped NORMAL -> RECOVERY" in v.message for v in found)
+
+    def test_floor_restore_allowed_only_in_recovery(self):
+        checker = ConfigStructureInvariant()
+        assert self._commit(checker, config(
+            3, fragment(mode=FragmentMode.TRANSIENT, cfg_id=3))) == []
+        # Restored floor while entering recovery: legal (the Gemini move).
+        assert self._commit(checker, config(
+            4, fragment(mode=FragmentMode.RECOVERY, cfg_id=1))) == []
+        # Floor moving back in normal mode: illegal.
+        assert self._commit(checker, config(
+            5, fragment(mode=FragmentMode.NORMAL, cfg_id=0)))
+
+
+class TestDirtyCompleteness:
+    def _events(self, checker, *events):
+        log = EventLog()
+        found = []
+        for kind, data in events:
+            found.extend(checker.on_event(log.emit(kind, **data)))
+        return found
+
+    def test_covered_writes_clean(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k1",
+                                     complete=True)),
+            ("recovery_dirty", dict(fragment_id=1, episode=5,
+                                    keys=("k1", "k2"), complete=True)),
+        )
+        assert found == []
+
+    def test_missing_write_violates(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k1",
+                                     complete=True)),
+            ("recovery_dirty", dict(fragment_id=1, episode=5,
+                                    keys=("other",), complete=True)),
+        )
+        assert len(found) == 1
+        assert "k1" in found[0].message
+
+    def test_stale_episode_writes_ignored(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=4, key="old",
+                                     complete=True)),
+            ("recovery_dirty", dict(fragment_id=1, episode=5, keys=(),
+                                    complete=True)),
+        )
+        assert found == []
+
+    def test_marker_loss_dooms_episode(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k1",
+                                     complete=True)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k2",
+                                     complete=False)),
+            ("recovery_dirty", dict(fragment_id=1, episode=5, keys=(),
+                                    complete=False)),
+        )
+        assert found == []  # the protocol owes a discard, not completeness
+
+    def test_resumed_episode_keeps_pending(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k1",
+                                     complete=True)),
+            # Crash-during-recovery: same episode resumes (arrow 5).
+            ("transient_begin", dict(fragment_id=1, episode=5,
+                                     resumed=True)),
+            ("recovery_dirty", dict(fragment_id=1, episode=5, keys=(),
+                                    complete=True)),
+        )
+        assert len(found) == 1
+
+    def test_settled_fragment_resets(self):
+        checker = DirtyCompletenessInvariant()
+        found = self._events(
+            checker,
+            ("transient_begin", dict(fragment_id=1, episode=5)),
+            ("transient_write", dict(fragment_id=1, episode=5, key="k1",
+                                     complete=True)),
+            ("fragment_discarded", dict(fragment_id=1)),
+            ("transient_begin", dict(fragment_id=1, episode=8)),
+            ("recovery_dirty", dict(fragment_id=1, episode=8, keys=(),
+                                    complete=True)),
+        )
+        assert found == []
+
+
+class TestMarkerIntegrity:
+    def _events(self, checker, *events):
+        log = EventLog()
+        found = []
+        for kind, data in events:
+            found.extend(checker.on_event(log.emit(kind, **data)))
+        return found
+
+    def test_marked_list_clean(self):
+        checker = MarkerIntegrityInvariant()
+        found = self._events(
+            checker,
+            ("dirty_created", dict(address="c1", fragment_id=1,
+                                   marker=True, preserved=False)),
+            ("transient_write", dict(address="c1", fragment_id=1, key="k",
+                                     complete=True)),
+            ("recovery_dirty", dict(secondary="c1", fragment_id=1,
+                                    keys=("k",), complete=True)),
+        )
+        assert found == []
+
+    def test_append_after_eviction_violates(self):
+        checker = MarkerIntegrityInvariant()
+        found = self._events(
+            checker,
+            ("dirty_created", dict(address="c1", fragment_id=1,
+                                   marker=True, preserved=False)),
+            ("dirty_evicted", dict(address="c1", fragment_id=1)),
+            ("transient_write", dict(address="c1", fragment_id=1, key="k",
+                                     complete=True)),
+        )
+        assert len(found) == 1
+        assert "acknowledged complete" in found[0].message
+
+    def test_recreated_list_is_partial(self):
+        checker = MarkerIntegrityInvariant()
+        found = self._events(
+            checker,
+            ("dirty_created", dict(address="c1", fragment_id=1,
+                                   marker=True, preserved=False)),
+            ("dirty_evicted", dict(address="c1", fragment_id=1)),
+            ("dirty_recreated", dict(address="c1", fragment_id=1)),
+            ("recovery_dirty", dict(secondary="c1", fragment_id=1,
+                                    keys=("k",), complete=True)),
+        )
+        assert len(found) == 1
+        assert "partial" in found[0].message
+
+    def test_incomplete_consumption_is_fine(self):
+        checker = MarkerIntegrityInvariant()
+        found = self._events(
+            checker,
+            ("dirty_evicted", dict(address="c1", fragment_id=1)),
+            ("transient_write", dict(address="c1", fragment_id=1, key="k",
+                                     complete=False)),
+            ("recovery_dirty", dict(secondary="c1", fragment_id=1,
+                                    keys=(), complete=False)),
+        )
+        assert found == []
+
+    def test_instance_wipe_clears_all_lists(self):
+        checker = MarkerIntegrityInvariant()
+        found = self._events(
+            checker,
+            ("dirty_created", dict(address="c1", fragment_id=1,
+                                   marker=True, preserved=False)),
+            ("instance_wiped", dict(address="c1")),
+            ("transient_write", dict(address="c1", fragment_id=1, key="k",
+                                     complete=True)),
+        )
+        assert len(found) == 1
+
+
+class TestRedleaseExclusion:
+    def _events(self, checker, *events):
+        log = EventLog()
+        clock = {"now": 0.0}
+        log._clock = lambda: clock["now"]
+        found = []
+        for when, kind, data in events:
+            clock["now"] = when
+            found.extend(checker.on_event(log.emit(kind, **data)))
+        return found
+
+    def test_sequential_grants_clean(self):
+        checker = RedleaseExclusionInvariant()
+        found = self._events(
+            checker,
+            (0.0, "red_acquired", dict(address="c1", fragment_id=1, token=1,
+                                       expires_at=2.0)),
+            (1.0, "red_released", dict(address="c1", fragment_id=1,
+                                       token=1)),
+            (1.5, "red_acquired", dict(address="c1", fragment_id=1, token=2,
+                                       expires_at=3.5)),
+        )
+        assert found == []
+
+    def test_grant_while_held_violates(self):
+        checker = RedleaseExclusionInvariant()
+        found = self._events(
+            checker,
+            (0.0, "red_acquired", dict(address="c1", fragment_id=1, token=1,
+                                       expires_at=2.0)),
+            (1.0, "red_acquired", dict(address="c1", fragment_id=1, token=2,
+                                       expires_at=3.0)),
+        )
+        assert len(found) == 1
+        assert "token 1 was still live" in found[0].message
+
+    def test_takeover_after_expiry_clean(self):
+        checker = RedleaseExclusionInvariant()
+        found = self._events(
+            checker,
+            (0.0, "red_acquired", dict(address="c1", fragment_id=1, token=1,
+                                       expires_at=2.0)),
+            (2.5, "red_acquired", dict(address="c1", fragment_id=1, token=2,
+                                       expires_at=4.5)),
+        )
+        assert found == []
+
+    def test_real_crash_clears_dram_leases(self):
+        checker = RedleaseExclusionInvariant()
+        found = self._events(
+            checker,
+            (0.0, "red_acquired", dict(address="c1", fragment_id=1, token=1,
+                                       expires_at=9.0)),
+            (1.0, "leases_cleared", dict(address="c1")),
+            (1.5, "red_acquired", dict(address="c1", fragment_id=1, token=2,
+                                       expires_at=10.5)),
+        )
+        assert found == []
+
+
+class TestReadAfterWriteAdapter:
+    class FakeOracle:
+        def __init__(self, stale):
+            self.stale_reads = stale
+            self.reads_checked = 100
+            self.violations = []
+
+    def test_clean_oracle_reports_nothing(self):
+        checker = ReadAfterWriteInvariant(self.FakeOracle(0))
+        assert checker.finish() == []
+
+    def test_stale_reads_reported_at_finish(self):
+        checker = ReadAfterWriteInvariant(self.FakeOracle(3))
+        found = checker.finish()
+        assert len(found) == 1
+        assert "3 stale read(s) out of 100" in found[0].message
