@@ -1,0 +1,60 @@
+"""geminilint: protocol-aware static analysis for the Gemini reproduction.
+
+The chaos engine (PR 2) finds protocol bugs by *running* randomized
+schedules; this package finds a complementary class of bugs by *reading*
+the source. Every rule is derived from a bug this repository actually
+shipped (see CHANGES.md) or from a discipline the simulator's determinism
+depends on:
+
+========  ============================================================
+GEM001    No wall-clock time or global randomness inside ``src/repro``
+          — all time flows from the simulator clock and all randomness
+          from named :class:`~repro.sim.rng.RngRegistry` streams, which
+          is what keeps chaos TrialResult fingerprints byte-for-byte
+          reproducible (docs/DETERMINISM.md).
+GEM002    Unawaited sim primitive: a ``Timeout``/``Event``/composite or
+          an RPC created inside a generator but never ``yield``-ed is a
+          silently dropped wait.
+GEM003    Store/dirty-list mutations in ``recovery/worker.py`` must be
+          reachable only through a lexically Redlease-guarded pass
+          (``red_acquire`` … ``red_release``).
+GEM004    Session config-id stamping discipline (the PR 1 Rejig bug):
+          ops must stamp the id captured when the session routed, never
+          live ``*.config_id`` state; the instance dispatcher must keep
+          its freshness check.
+GEM005    State-mutating coordinator/instance callback handlers must
+          guard on ``self.up`` (the PR 2 split-brain bug).
+GEM006    Public mutating protocol methods must emit a
+          :mod:`repro.verify.events` protocol event so the invariant
+          checkers stay complete.
+========  ============================================================
+
+Run with ``python -m repro.analysis src/``; suppress a finding with an
+inline ``# geminilint: disable=GEMxxx -- justification`` comment (the
+justification is mandatory). See docs/STATIC_ANALYSIS.md.
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    register_rule,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,63 @@
+"""CLI driver: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 findings (or unreadable files), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.core import all_rules, analyze_paths
+from repro.analysis.reporters import render_json, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("geminilint: protocol-aware static analysis for the "
+                     "Gemini reproduction (rules GEM001-GEM006)"),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, cls in sorted(all_rules().items()):
+            print(f"{code}  {cls.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",")
+                  if code.strip()]
+    try:
+        result = analyze_paths(args.paths, select=select)
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+    if result.files_checked == 0:
+        parser.error(f"no python files found under: {', '.join(args.paths)}")
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

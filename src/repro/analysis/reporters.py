@@ -1,0 +1,47 @@
+"""Text and JSON renderers for :class:`~repro.analysis.core.AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisResult, all_rules
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    """One line per finding, a per-rule tally, and the verdict."""
+    lines = [str(finding) for finding in result.findings]
+    lines.extend(f"error: {error}" for error in result.errors)
+    if result.findings:
+        registry = all_rules()
+        lines.append("")
+        for code, count in result.counts_by_code().items():
+            summary = getattr(registry.get(code), "summary", "") or ""
+            lines.append(f"{code}: {count} finding(s)  [{summary}]")
+    verdict = "clean" if result.ok else (
+        f"{len(result.findings)} finding(s), {len(result.errors)} error(s)")
+    lines.append(f"geminilint: {result.files_checked} file(s) checked, "
+                 f"{verdict}")
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable key order, for CI baselines)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "counts": result.counts_by_code(),
+        "findings": [
+            {
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

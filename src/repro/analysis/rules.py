@@ -1,0 +1,581 @@
+"""The GEM rule set.
+
+Each rule encodes a discipline this repository has already paid for
+violating (CHANGES.md): GEM004 is PR 1's cross-replica stale-read
+resurrection (an unstamped Rejig config id on an RPC path), GEM005 is
+PR 2's split-brain (a coordinator callback mutating state without a
+liveness check), GEM001/GEM002 are what keep the deterministic sim
+kernel deterministic, GEM003 is the Redlease discipline recovery
+workers rely on, and GEM006 keeps the chaos engine's invariant
+checkers fed.
+
+Rules are lexical/AST-level by design: they gate on structural markers
+(class names, helper-method shapes, op-name string constants) so the
+same rule fires on fixture snippets and on minimally reverted versions
+of the historical bugs (tests/analysis/test_historical_bugs.py).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    keyword_arg,
+    register_rule,
+    walk_in_function,
+)
+
+__all__ = [
+    "WallClockAndGlobalRandomness",
+    "UnawaitedSimPrimitive",
+    "UnguardedDirtyMutation",
+    "SessionConfigStamp",
+    "LivenessGuard",
+    "MissingProtocolEvent",
+]
+
+
+def _functions(ctx: ModuleContext) -> List[ast.FunctionDef]:
+    return [node for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef)]
+
+
+def _op_constant(call: ast.Call) -> Optional[str]:
+    """The ``op="..."`` keyword of a call, when it is a string literal."""
+    value = keyword_arg(call, "op")
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    return None
+
+
+def _method_map(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {node.name: node for node in cls.body
+            if isinstance(node, ast.FunctionDef)}
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class WallClockAndGlobalRandomness(Rule):
+    """GEM001: no wall-clock time, no global/module-level randomness.
+
+    Simulated components must take time from ``sim.now`` and randomness
+    from an injected :class:`random.Random` stream handed out by
+    :class:`~repro.sim.rng.RngRegistry`. Calling the ``random`` module's
+    functions consumes the interpreter-global stream (perturbed by
+    import order and unrelated consumers), and constructing
+    ``random.Random(...)`` ad hoc scatters seed derivation across the
+    tree — both break the byte-for-byte TrialResult fingerprints the
+    chaos engine's replay files depend on (docs/DETERMINISM.md).
+    """
+
+    code = "GEM001"
+    summary = ("wall-clock time or global randomness in simulated code "
+               "(use the sim clock / RngRegistry streams)")
+
+    _CLOCK_MODULES = {"time", "datetime"}
+    _CLOCK_CALLS = {
+        "time.time", "time.monotonic", "time.perf_counter",
+        "time.process_time", "time.time_ns", "time.monotonic_ns",
+        "time.sleep",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "date.today", "datetime.date.today",
+    }
+    #: random-module functions that draw from the global stream.
+    _GLOBAL_RANDOM = {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "seed", "getrandbits", "expovariate",
+        "lognormvariate", "gauss", "normalvariate", "betavariate",
+        "triangular", "vonmisesvariate", "paretovariate", "weibullvariate",
+        "randbytes",
+    }
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._CLOCK_MODULES:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"import of wall-clock module {alias.name!r}; "
+                            f"simulated code must take time from the "
+                            f"simulator clock (sim.now)"))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self._CLOCK_MODULES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"import from wall-clock module {node.module!r}; "
+                        f"simulated code must take time from the "
+                        f"simulator clock (sim.now)"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node))
+        return findings
+
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> List[Finding]:
+        name = call_name(node)
+        if name is None:
+            return []
+        if name in self._CLOCK_CALLS:
+            return [self.finding(
+                ctx, node,
+                f"wall-clock call {name}(); use the simulator clock")]
+        parts = name.split(".")
+        if parts[0] != "random" or len(parts) != 2:
+            return []
+        if parts[1] in self._GLOBAL_RANDOM:
+            return [self.finding(
+                ctx, node,
+                f"global randomness {name}(); draw from an injected "
+                f"random.Random stream (RngRegistry.stream)")]
+        if parts[1] in ("Random", "SystemRandom"):
+            return [self.finding(
+                ctx, node,
+                f"ad-hoc {name}(...) construction; streams must come "
+                f"from RngRegistry (or its documented fallback helper) "
+                f"so seeds derive from the experiment seed")]
+        return []
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class UnawaitedSimPrimitive(Rule):
+    """GEM002: a sim waitable created but never consumed.
+
+    ``sim.timeout(...)``, ``sim.event()``, ``sim.all_of/any_of(...)``
+    (or the bare ``Timeout``/``Event``/``AllOf``/``AnyOf`` constructors)
+    and RPCs issued via ``network.call(...)`` return events that do
+    nothing until a process yields them. Creating one as a bare
+    statement — or binding it to a variable that is never read — is a
+    silently dropped wait: the code continues immediately and the
+    intended delay/response is lost. ``sim.process(...)`` is exempt
+    (spawning is fire-and-forget by design).
+    """
+
+    code = "GEM002"
+    summary = "sim primitive / RPC created but never yielded or used"
+
+    _FACTORY_ATTRS = {"timeout", "event", "all_of", "any_of"}
+    _CONSTRUCTORS = {"Timeout", "Event", "AllOf", "AnyOf"}
+
+    def _is_waitable_factory(self, call: ast.Call) -> Optional[str]:
+        name = call_name(call)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if name in self._CONSTRUCTORS:
+            return name
+        if len(parts) >= 2 and parts[-1] in self._FACTORY_ATTRS \
+                and "sim" in parts[:-1]:
+            return name
+        if parts[-1] == "call" and any("network" in p for p in parts[:-1]):
+            return name
+        return None
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for func in _functions(ctx):
+            findings.extend(self._check_function(ctx, func))
+        return findings
+
+    def _check_function(self, ctx: ModuleContext,
+                        func: ast.FunctionDef) -> List[Finding]:
+        findings: List[Finding] = []
+        # (a) bare expression statements dropping a waitable
+        for stmt in walk_in_function(ctx, func, (ast.Expr,)):
+            assert isinstance(stmt, ast.Expr)
+            if isinstance(stmt.value, ast.Call):
+                name = self._is_waitable_factory(stmt.value)
+                if name is not None:
+                    findings.append(self.finding(
+                        ctx, stmt,
+                        f"result of {name}(...) is discarded; yield it "
+                        f"(or store and wait on it) — as written the "
+                        f"wait silently never happens"))
+        # (b) assigned to a name that is never read again
+        loads: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+        for stmt in walk_in_function(ctx, func, (ast.Assign,)):
+            assert isinstance(stmt, ast.Assign)
+            if not isinstance(stmt.value, ast.Call):
+                continue
+            name = self._is_waitable_factory(stmt.value)
+            if name is None:
+                continue
+            if len(stmt.targets) != 1 or not isinstance(
+                    stmt.targets[0], ast.Name):
+                continue
+            target = stmt.targets[0].id
+            if target not in loads:
+                findings.append(self.finding(
+                    ctx, stmt,
+                    f"{target!r} holds the result of {name}(...) but is "
+                    f"never yielded or read; the wait silently never "
+                    f"happens"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class UnguardedDirtyMutation(Rule):
+    """GEM003: recovery-worker mutations outside the Redlease guard.
+
+    A recovery pass must hold the fragment's Redlease while it repairs
+    (exactly one worker per fragment, Section 3.3). Lexically: any
+    worker method that issues a store/dirty-list-mutating cache op must
+    be reachable *only* through a method that acquires the Redlease
+    (contains an ``op="red_acquire"`` RPC). Applies to modules named
+    ``worker.py`` or defining a ``*Worker`` class.
+    """
+
+    code = "GEM003"
+    summary = "store/dirty-list mutation outside a Redlease-guarded pass"
+
+    _MUTATING_OPS = {
+        "mdelete", "batch_iset", "batch_iqset", "delete_dirty",
+        "iset", "iqset", "idelete", "remove_dirty_key",
+    }
+
+    def _applies(self, ctx: ModuleContext, cls: ast.ClassDef) -> bool:
+        return ("Worker" in cls.name
+                or ctx.path.replace("\\", "/").endswith("worker.py"))
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and self._applies(ctx, node):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _ops_issued(self, method: ast.FunctionDef) -> Set[str]:
+        ops: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                op = _op_constant(node)
+                if op is not None:
+                    ops.add(op)
+        return ops
+
+    def _self_calls(self, method: ast.FunctionDef) -> Set[str]:
+        """Names of methods invoked as ``self.<name>(...)`` anywhere."""
+        out: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and name.startswith("self.") \
+                        and name.count(".") == 1:
+                    out.add(name.split(".")[1])
+        return out
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> List[Finding]:
+        methods = _method_map(cls)
+        ops = {name: self._ops_issued(node) for name, node in methods.items()}
+        guards = {name for name, issued in ops.items()
+                  if "red_acquire" in issued}
+        callers: Dict[str, Set[str]] = {name: set() for name in methods}
+        for name, node in methods.items():
+            for callee in self._self_calls(node):
+                if callee in callers:
+                    callers[callee].add(name)
+
+        # A method is unguarded-reachable when some caller chain reaches
+        # an entry point without passing a guard-establishing method.
+        cache: Dict[str, bool] = {}
+
+        def unguarded(name: str, visiting: Tuple[str, ...]) -> bool:
+            if name in guards:
+                return False
+            if name in cache:
+                return cache[name]
+            if name in visiting:
+                return False  # cycle without an entry point
+            ups = callers.get(name, set())
+            if not ups:
+                result = True  # an entry point itself
+            else:
+                result = any(up not in guards
+                             and unguarded(up, visiting + (name,))
+                             for up in ups)
+            cache[name] = result
+            return result
+
+        findings: List[Finding] = []
+        for name, node in methods.items():
+            mutating = ops[name] & self._MUTATING_OPS
+            if not mutating:
+                continue
+            if name in guards:
+                continue  # mutates inside the acquire/release bracket
+            if unguarded(name, ()):
+                findings.append(self.finding(
+                    ctx, node,
+                    f"{cls.name}.{name} issues mutating op(s) "
+                    f"{sorted(mutating)} but is reachable without passing "
+                    f"through a red_acquire-guarded pass"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class SessionConfigStamp(Rule):
+    """GEM004: Rejig config-id discipline (the PR 1 stamping bug).
+
+    (a) A request dispatcher for ops carrying ``client_cfg_id`` must
+    perform the freshness comparison (``_check_config_id``) before
+    dispatching — otherwise stale sessions never bounce.
+
+    (b) Session code (classes with an ``_op``/``_cfg`` stamping helper)
+    must stamp ops with the config id *captured when the session
+    routed* — a local name — never live state such as
+    ``self.cache.config_id``/``self.config.config_id``. Stamping live
+    state lets a session that straddles a configuration change complete
+    against superseded routing (PR 1: a recovery-mode reader resurrected
+    a pre-write value into the primary).
+    """
+
+    code = "GEM004"
+    summary = "missing/incorrect session config-id comparison (Rejig)"
+
+    _CFG_PARAMS = {"cfg", "cfg_id", "config_id", "client_cfg_id"}
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        defines_cfg_carrier = self._module_defines_cfg_carrier(ctx)
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if defines_cfg_carrier:
+                findings.extend(self._check_dispatcher(ctx, node))
+            findings.extend(self._check_stamping(ctx, node))
+        return findings
+
+    @staticmethod
+    def _module_defines_cfg_carrier(ctx: ModuleContext) -> bool:
+        """Does this module define a request type with client_cfg_id?"""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and node.target.id == "client_cfg_id":
+                return True
+        return False
+
+    def _check_dispatcher(self, ctx: ModuleContext,
+                          cls: ast.ClassDef) -> List[Finding]:
+        methods = _method_map(cls)
+        handler = methods.get("handle_request")
+        if handler is None:
+            return []
+        if not any(name.startswith("op_") for name in methods):
+            return []
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                name = call_name(node) or ""
+                if "check_config" in name:
+                    return []
+        return [self.finding(
+            ctx, handler,
+            f"{cls.name}.handle_request dispatches ops carrying "
+            f"client_cfg_id without a config-id freshness check "
+            f"(_check_config_id): stale sessions will never bounce")]
+
+    def _check_stamping(self, ctx: ModuleContext,
+                        cls: ast.ClassDef) -> List[Finding]:
+        methods = _method_map(cls)
+        helpers: Dict[str, int] = {}
+        for helper_name in ("_op", "_cfg"):
+            helper = methods.get(helper_name)
+            if helper is None:
+                continue
+            params = [arg.arg for arg in helper.args.args
+                      if arg.arg != "self"]
+            for index, param in enumerate(params):
+                if param in self._CFG_PARAMS:
+                    helpers[helper_name] = index
+                    break
+        if not helpers:
+            return []
+        findings: List[Finding] = []
+        for method in methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name is None or not name.startswith("self."):
+                    continue
+                helper_name = name.split(".", 1)[1]
+                index = helpers.get(helper_name)
+                if index is None:
+                    continue
+                value = self._stamp_argument(node, index)
+                if value is None or isinstance(value, ast.Name):
+                    continue
+                rendered = ast.unparse(value)
+                findings.append(self.finding(
+                    ctx, value,
+                    f"{cls.name}.{method.name} stamps {rendered!r} into "
+                    f"self.{helper_name}(...); stamp the session-captured "
+                    f"config id (a local name bound when the session "
+                    f"routed) — stamping live state re-introduces the "
+                    f"PR 1 stale-read resurrection"))
+        return findings
+
+    @staticmethod
+    def _stamp_argument(call: ast.Call, index: int) -> Optional[ast.expr]:
+        for keyword in call.keywords:
+            if keyword.arg in SessionConfigStamp._CFG_PARAMS:
+                return keyword.value
+        if index < len(call.args):
+            return call.args[index]
+        return None
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class LivenessGuard(Rule):
+    """GEM005: callback handlers must guard on ``self.up`` (PR 2 bug).
+
+    RPC handlers are protected by the network layer (a down node never
+    receives requests), but direct callback entries — injector
+    subscriptions (``on_*``) and notification entry points
+    (``notify_*``) — fire regardless. A failed-over coordinator that
+    keeps committing configurations from such a path is exactly PR 2's
+    split-brain. Any ``on_*``/``notify_*`` method of a RemoteNode
+    subclass that mutates state or spawns work must check ``self.up``.
+    """
+
+    code = "GEM005"
+    summary = "state-mutating callback handler without a self.up guard"
+
+    _NODE_BASES = {"RemoteNode", "Coordinator", "CacheInstance"}
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and self._is_node(node):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _is_node(self, cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name is not None and name.split(".")[-1] in self._NODE_BASES:
+                return True
+        return False
+
+    @staticmethod
+    def _mutates(method: ast.FunctionDef) -> bool:
+        """Does the handler change state or spawn work?"""
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                for target in (node.targets
+                               if isinstance(node, ast.Assign)
+                               else [node.target]):
+                    name = dotted_name(target)
+                    if name is not None and name.startswith("self."):
+                        return True
+            elif isinstance(node, ast.Call):
+                name = call_name(node) or ""
+                if name.startswith("self.") and not name.endswith(".get"):
+                    return True
+        return False
+
+    @staticmethod
+    def _references_up(method: ast.FunctionDef) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and node.attr == "up":
+                if isinstance(node.value, ast.Name) \
+                        and node.value.id == "self":
+                    return True
+        return False
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> List[Finding]:
+        findings: List[Finding] = []
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if not (method.name.startswith("on_")
+                    or method.name.startswith("notify_")):
+                continue
+            if not self._mutates(method):
+                continue
+            if self._references_up(method):
+                continue
+            findings.append(self.finding(
+                ctx, method,
+                f"{cls.name}.{method.name} mutates state or spawns work "
+                f"from a direct callback without checking self.up — a "
+                f"dead node acting on callbacks is the PR 2 split-brain"))
+        return findings
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class MissingProtocolEvent(Rule):
+    """GEM006: mutating protocol methods must emit a protocol event.
+
+    The chaos engine's invariant checkers are only as complete as the
+    event stream they watch (:mod:`repro.verify.events`). Every method
+    on the protocol surface below must contain an ``_emit``/
+    ``event_log.emit`` call; dropping one silently blinds a checker.
+    """
+
+    code = "GEM006"
+    summary = "protocol-surface method no longer emits its protocol event"
+
+    #: class name -> methods that must emit.
+    _SURFACE: Dict[str, Set[str]] = {
+        "CacheInstance": {
+            "op_create_dirty", "op_append_dirty", "op_delete_dirty",
+            "op_red_acquire", "op_red_release", "fail", "wipe",
+        },
+        "Coordinator": {
+            "_commit", "_handle_failure", "_recover_gemini",
+            "_handle_dirty_done", "_handle_dirty_lost",
+        },
+        "GeminiClient": {"_adopt", "_write_transient"},
+        "RecoveryWorker": {"on_config"},
+    }
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            surface = self._SURFACE.get(node.name)
+            if not surface:
+                continue
+            for method in node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name not in surface:
+                    continue
+                if not self._emits(method):
+                    findings.append(self.finding(
+                        ctx, method,
+                        f"{node.name}.{method.name} is on the protocol "
+                        f"surface but emits no verify.events protocol "
+                        f"event; the invariant checkers go blind"))
+        return findings
+
+    @staticmethod
+    def _emits(method: ast.FunctionDef) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = call_name(node) or ""
+                last = name.split(".")[-1]
+                if last in ("_emit", "emit"):
+                    return True
+        return False

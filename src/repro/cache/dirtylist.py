@@ -60,7 +60,7 @@ class DirtyList:
 
     __slots__ = ("fragment_id", "marker", "_keys", "_size", "_next_seq")
 
-    def __init__(self, fragment_id: int, marker: bool):
+    def __init__(self, fragment_id: int, marker: bool) -> None:
         self.fragment_id = fragment_id
         self.marker = marker
         self._keys: Dict[str, int] = {}

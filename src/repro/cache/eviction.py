@@ -49,7 +49,7 @@ class LruPolicy(EvictionPolicy):
 
     name = "lru"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._order: OrderedDict[str, None] = OrderedDict()
 
     def on_insert(self, key: str) -> None:
@@ -80,7 +80,7 @@ class FifoPolicy(EvictionPolicy):
 
     name = "fifo"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._order: OrderedDict[str, None] = OrderedDict()
 
     def on_insert(self, key: str) -> None:
@@ -111,7 +111,7 @@ class ClockPolicy(EvictionPolicy):
 
     name = "clock"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._ref: Dict[str, bool] = {}
         self._ring: OrderedDict[str, None] = OrderedDict()
 

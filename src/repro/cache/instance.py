@@ -23,7 +23,7 @@ baseline wipes them via :meth:`wipe`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.dirtylist import DirtyList, dirty_list_key
 from repro.cache.entry import CacheEntry
@@ -105,7 +105,7 @@ class CacheInstance(RemoteNode):
                  red_lifetime: float = 2.0,
                  servers: int = 16,
                  base_service_time: float = 5e-6,
-                 event_log=None):
+                 event_log=None) -> None:
         super().__init__(sim, address, servers=servers)
         #: Optional structured protocol-event stream (verify.events).
         self.event_log = event_log
@@ -123,13 +123,13 @@ class CacheInstance(RemoteNode):
         self.stats = InstanceStats()
         #: Callbacks invoked with each evicted key (replication mirroring,
         #: Section 7 extension).
-        self._eviction_listeners = []
+        self._eviction_listeners: List[Callable[[str], None]] = []
 
-    def subscribe_evictions(self, callback) -> None:
+    def subscribe_evictions(self, callback: Callable[[str], None]) -> None:
         """``callback(key)`` on every eviction this instance performs."""
         self._eviction_listeners.append(callback)
 
-    def _emit(self, kind: str, **data) -> None:
+    def _emit(self, kind: str, **data: Any) -> None:
         if self.event_log is not None:
             self.event_log.emit(kind, address=self.address, **data)
 

@@ -72,7 +72,7 @@ class LeaseTable:
     """
 
     def __init__(self, clock: Callable[[], float],
-                 iq_lifetime: float = DEFAULT_IQ_LIFETIME):
+                 iq_lifetime: float = DEFAULT_IQ_LIFETIME) -> None:
         self._clock = clock
         self.iq_lifetime = iq_lifetime
         self._i: Dict[str, Lease] = {}
@@ -169,7 +169,7 @@ class Redlease:
     """Mutual exclusion on named resources (dirty lists) with expiry."""
 
     def __init__(self, clock: Callable[[], float],
-                 lifetime: float = DEFAULT_RED_LIFETIME):
+                 lifetime: float = DEFAULT_RED_LIFETIME) -> None:
         self._clock = clock
         self.lifetime = lifetime
         self._held: Dict[str, Lease] = {}

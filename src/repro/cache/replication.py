@@ -42,7 +42,7 @@ class MirroredReplicaGroup:
 
     def __init__(self, sim: Simulator, network: Network,
                  master: CacheInstance, slaves: List[CacheInstance],
-                 strategy: SyncStrategy = SyncStrategy.BROADCAST_EVICTIONS):
+                 strategy: SyncStrategy = SyncStrategy.BROADCAST_EVICTIONS) -> None:
         self.sim = sim
         self.network = network
         self.master = master

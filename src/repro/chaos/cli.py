@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro.chaos.mutants import MUTANTS
 from repro.chaos.nemesis import TrialSpec, derive_spec
@@ -139,7 +139,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
         description="Deterministic, seed-replayable chaos trials for the "

@@ -121,7 +121,7 @@ MUTANTS: Dict[str, object] = {
 
 
 @contextmanager
-def apply_mutant(name=None) -> Iterator[None]:
+def apply_mutant(name: Optional[str] = None) -> Iterator[None]:
     """Context manager activating mutant ``name`` (None = unmodified)."""
     if name is None:
         yield

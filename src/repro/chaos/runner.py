@@ -15,12 +15,14 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Generator, List, Optional
 
-from repro.chaos.nemesis import LINK_KINDS, TrialSpec
+from repro.chaos.nemesis import LINK_KINDS, NemesisAction, TrialSpec
+from repro.client.client import GeminiClient
 from repro.harness.cluster import ClusterSpec, GeminiCluster
 from repro.harness.experiment import Experiment
 from repro.recovery.policies import policy_by_name
+from repro.sim.core import Process, Simulator
 from repro.sim.failures import FailureSchedule
 from repro.verify.invariants import Violation
 from repro.workload.ycsb import WORKLOAD_B, YcsbWorkload
@@ -82,9 +84,10 @@ class PacedThread:
     while still spanning every outage window with live traffic.
     """
 
-    def __init__(self, sim, client, workload, record_size: int,
+    def __init__(self, sim: Simulator, client: GeminiClient,
+                 workload: YcsbWorkload, record_size: int,
                  rng: random.Random, think: float = 0.004,
-                 name: str = "chaos-load"):
+                 name: str = "chaos-load") -> None:
         self.sim = sim
         self.client = client
         self.workload = workload
@@ -94,13 +97,13 @@ class PacedThread:
         self.name = name
         self.ops_issued = 0
         self.errors = 0
-        self._process = None
+        self._process: Optional[Process] = None
 
-    def start(self):
+    def start(self) -> Process:
         self._process = self.sim.process(self._run(), name=self.name)
         return self._process
 
-    def _run(self):
+    def _run(self) -> Generator[Any, Any, None]:
         while True:
             op, key = self.workload.next_op()
             try:
@@ -115,7 +118,7 @@ class PacedThread:
 
 
 # ----------------------------------------------------------------------
-def _arm_link_fault(cluster: GeminiCluster, action) -> None:
+def _arm_link_fault(cluster: GeminiCluster, action: NemesisAction) -> None:
     """Schedule a partition / asymmetric drop / delay spike and its heal."""
     sim, network = cluster.sim, cluster.network
     if action.kind == "partition":

@@ -13,9 +13,12 @@ violation deterministically, ready to serialize as a replay file.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, List, Optional, Set
 
 from repro.chaos.nemesis import TrialSpec
+
+if TYPE_CHECKING:  # runtime import stays deferred (runner imports mutants)
+    from repro.chaos.runner import TrialResult
 
 __all__ = ["ShrinkResult", "shrink"]
 
@@ -31,12 +34,12 @@ class ShrinkResult:
     shortened_actions: int
 
 
-def _invariants_of(result) -> Set[str]:
+def _invariants_of(result: TrialResult) -> Set[str]:
     return {v.invariant for v in result.violations}
 
 
-def shrink(spec: TrialSpec, first_result,
-           run: Optional[Callable] = None,
+def shrink(spec: TrialSpec, first_result: TrialResult,
+           run: Optional[Callable[[TrialSpec], TrialResult]] = None,
            mutant: Optional[str] = None,
            max_runs: int = 64) -> ShrinkResult:
     """Minimize ``spec``'s action list while the violation reproduces.
@@ -58,7 +61,7 @@ def shrink(spec: TrialSpec, first_result,
 
     budget = {"runs": 0}
 
-    def still_fails(candidate: TrialSpec):
+    def still_fails(candidate: TrialSpec) -> Optional[TrialResult]:
         if budget["runs"] >= max_runs:
             return None
         budget["runs"] += 1

@@ -27,10 +27,15 @@ from repro.errors import (
     ReproError,
     StaleConfiguration,
 )
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.metrics.recorder import OpRecorder
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import Simulator
+from repro.sim.core import SimGenerator, Simulator
 from repro.sim.network import Network
+from repro.sim.rng import fallback_stream
 from repro.types import CACHE_MISS, FragmentMode, Value
+from repro.verify.events import EventLog
+from repro.verify.oracle import ConsistencyOracle
 
 __all__ = ["GeminiClient"]
 
@@ -48,12 +53,13 @@ class GeminiClient:
                  coordinator_address: str = "coordinator",
                  datastore_address: str = "datastore",
                  name: str = "client",
-                 oracle=None, recorder=None,
+                 oracle: Optional[ConsistencyOracle] = None,
+                 recorder: Optional[OpRecorder] = None,
                  rng: Optional[random.Random] = None,
                  backoff_base: float = 0.001,
                  backoff_cap: float = 0.016,
                  suspension_delay: float = 0.02,
-                 event_log=None):
+                 event_log: Optional[EventLog] = None) -> None:
         self.sim = sim
         #: Optional structured protocol-event stream (verify.events).
         self.event_log = event_log
@@ -66,7 +72,7 @@ class GeminiClient:
         self.name = name
         self.oracle = oracle
         self.recorder = recorder
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, f"client.{name}")
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.suspension_delay = suspension_delay
@@ -80,7 +86,7 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Configuration plumbing
     # ------------------------------------------------------------------
-    def _adopt(self, config) -> bool:
+    def _adopt(self, config: Configuration) -> bool:
         """Adopt a configuration if strictly newer; emit the observation."""
         if not self.cache.adopt(config):
             return False
@@ -89,7 +95,7 @@ class GeminiClient:
                                 config_id=config.config_id)
         return True
 
-    def on_config(self, config) -> None:
+    def on_config(self, config: Configuration) -> None:
         """Coordinator push (subscribe this method on the coordinator)."""
         if not self._adopt(config):
             return
@@ -99,14 +105,14 @@ class GeminiClient:
                     and fragment.mode is not FragmentMode.RECOVERY):
                 del self._dirty[fragment.fragment_id]
 
-    def bootstrap(self):
+    def bootstrap(self) -> SimGenerator:
         """Fetch the initial configuration (a process to yield from)."""
         config = yield self.network.call(
             self.coordinator_address, CoordinatorOp(op="get_config"))
         self._adopt(config)
         return config
 
-    def _refresh_config(self):
+    def _refresh_config(self) -> SimGenerator:
         if self.recorder is not None:
             self.recorder.record_config_refresh()
         try:
@@ -119,7 +125,7 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # RPC helpers
     # ------------------------------------------------------------------
-    def _op(self, op: str, cfg_id: int, **fields) -> CacheOp:
+    def _op(self, op: str, cfg_id: int, **fields: Any) -> CacheOp:
         """Build a cache op stamped with the *session's* configuration id.
 
         The id is captured when the session routes (Rejig, Section 4): a
@@ -137,7 +143,7 @@ class GeminiClient:
         return CacheOp(op=op, client_cfg_id=cfg_id, **fields)
 
     @staticmethod
-    def _suspect(fragment) -> Optional[str]:
+    def _suspect(fragment: FragmentInfo) -> Optional[str]:
         """Which replica to report after an unreachable error."""
         try:
             return fragment.serving_replica()
@@ -148,19 +154,19 @@ class GeminiClient:
         cap = min(self.backoff_cap, self.backoff_base * (2 ** min(attempt, 6)))
         return cap * (0.5 + 0.5 * self.rng.random())
 
-    def _store_read(self, key: str):
+    def _store_read(self, key: str) -> SimGenerator:
         from repro.datastore.store import DataStoreOp
         value = yield self.network.call(
             self.datastore_address, DataStoreOp(op="read", key=key))
         return value
 
-    def _store_write(self, key: str, size: Optional[int]):
+    def _store_write(self, key: str, size: Optional[int]) -> SimGenerator:
         from repro.datastore.store import DataStoreOp
         value = yield self.network.call(
             self.datastore_address, DataStoreOp(op="write", key=key, size=size))
         return value
 
-    def _report_failure(self, address: str):
+    def _report_failure(self, address: str) -> SimGenerator:
         try:
             yield self.network.call(
                 self.coordinator_address,
@@ -173,7 +179,7 @@ class GeminiClient:
             self._notify_dirty_lost_proc(fragment_id),
             name=f"{self.name}:dirty-lost")
 
-    def _notify_dirty_lost_proc(self, fragment_id: int):
+    def _notify_dirty_lost_proc(self, fragment_id: int) -> SimGenerator:
         try:
             yield self.network.call(
                 self.coordinator_address,
@@ -184,7 +190,7 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Public sessions
     # ------------------------------------------------------------------
-    def read(self, key: str):
+    def read(self, key: str) -> SimGenerator:
         """Read session. Returns the :class:`Value` observed."""
         start = self.sim.now
         value: Optional[Value] = None
@@ -232,7 +238,7 @@ class GeminiClient:
             self.oracle.record_read(key, value.version, start, end)
         return value
 
-    def write(self, key: str, size: Optional[int] = None):
+    def write(self, key: str, size: Optional[int] = None) -> SimGenerator:
         """Write-around write session. Returns the committed Value."""
         start = self.sim.now
         # Mutable so that store progress survives a bounced attempt: a
@@ -283,13 +289,13 @@ class GeminiClient:
     # ------------------------------------------------------------------
     # Read paths
     # ------------------------------------------------------------------
-    def _read_once(self, fragment, key: str, cfg: int):
+    def _read_once(self, fragment: FragmentInfo, key: str, cfg: int) -> SimGenerator:
         if fragment.mode is FragmentMode.RECOVERY:
             return (yield from self._read_recovery(fragment, key, cfg))
         target = fragment.serving_replica()
         return (yield from self._read_via(target, fragment, key, cfg))
 
-    def _read_via(self, target: str, fragment, key: str, cfg: int):
+    def _read_via(self, target: str, fragment: FragmentInfo, key: str, cfg: int) -> SimGenerator:
         """Normal/transient read: iqget, fill on miss (IQ protocol)."""
         outcome = yield self.network.call(
             target, self._op("iqget", cfg, key=key,
@@ -318,16 +324,18 @@ class GeminiClient:
         dirty = yield from self._ensure_dirty(fragment, cfg)
         primary = fragment.primary
         if key in dirty:
-            try:
-                token = yield self.network.call(
-                    primary, self._op("iset", cfg, key=key,
-                                      fragment_cfg_id=fragment.cfg_id))
-            except LeaseBackoff:
-                # Someone else is repairing this key right now; it is no
-                # longer our responsibility (their iset already deleted
-                # the stale copy), so stop treating it as dirty.
-                dirty.discard(key)
-                raise
+            # Claim-and-delete the dirty key. On LeaseBackoff the key
+            # deliberately STAYS in our dirty view: the lease holder may
+            # be a writer's qareg, and a Q lease deletes the stale
+            # primary copy only at dar time -- or never, if that write
+            # bounces on a configuration change and the lease merely
+            # expires. Dropping the key here lets the retry read the
+            # pre-outage copy through the iqget path below. Worst case
+            # of keeping it: one redundant delete-and-refill after a
+            # peer already repaired the key.
+            token = yield self.network.call(
+                primary, self._op("iset", cfg, key=key,
+                                  fragment_cfg_id=fragment.cfg_id))
             dirty.discard(key)
         else:
             outcome = yield self.network.call(

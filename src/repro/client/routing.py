@@ -20,7 +20,7 @@ __all__ = ["ConfigCache"]
 class ConfigCache:
     """The client's view of the cluster."""
 
-    def __init__(self, config: Optional[Configuration] = None):
+    def __init__(self, config: Optional[Configuration] = None) -> None:
         self._config = config
         self.updates = 0
 

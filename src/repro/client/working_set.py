@@ -17,7 +17,7 @@ __all__ = ["WstTracker"]
 class WstTracker:
     """hits/misses of secondary lookups, keyed by recovering primary."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: Dict[str, Dict[str, int]] = {}
 
     def observe(self, primary: str, hit: bool) -> None:

@@ -9,7 +9,7 @@ clients holding an old object never see it mutate underneath them.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.config.hashing import fragment_for_key
 from repro.errors import CoordinatorError, FragmentUnavailable
@@ -42,11 +42,15 @@ class FragmentInfo:
             return self.secondary
         return self.primary
 
+    def replace(self, **changes: Any) -> "FragmentInfo":
+        """``dataclasses.replace`` under a friendlier name."""
+        return replace(self, **changes)
+
 
 class Configuration:
     """An immutable assignment of fragments to instances."""
 
-    def __init__(self, config_id: int, fragments: List[FragmentInfo]):
+    def __init__(self, config_id: int, fragments: List[FragmentInfo]) -> None:
         if config_id < 0:
             raise CoordinatorError("config id must be non-negative")
         for index, fragment in enumerate(fragments):
@@ -114,12 +118,3 @@ class Configuration:
             for i in range(num_fragments)
         ]
         return Configuration(config_id, fragments)
-
-
-def _replace(info: FragmentInfo, **changes) -> FragmentInfo:
-    """Convenience re-export of dataclasses.replace for FragmentInfo."""
-    return replace(info, **changes)
-
-
-# re-exported under a friendlier name for the coordinator
-FragmentInfo.replace = _replace

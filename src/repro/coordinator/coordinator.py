@@ -33,7 +33,7 @@ from repro.cache.instance import CacheOp
 from repro.config.configuration import Configuration, FragmentInfo
 from repro.errors import CoordinatorError, NetworkError, StaleConfiguration
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import Simulator
+from repro.sim.core import SimGenerator, Simulator
 from repro.sim.network import Network, RemoteNode
 from repro.sim.sync import Mutex
 from repro.types import CACHE_MISS, FragmentMode
@@ -61,7 +61,7 @@ class Coordinator(RemoteNode):
                  initial_config_id: int = 1,
                  monitor_interval: float = 1.0,
                  wst_max_duration: float = 300.0,
-                 event_log=None):
+                 event_log=None) -> None:
         super().__init__(sim, address, servers=16)
         #: Optional structured protocol-event stream (verify.events).
         self.event_log = event_log
@@ -176,26 +176,40 @@ class Coordinator(RemoteNode):
     # ------------------------------------------------------------------
     # Entry points (also callable directly by the failure injector)
     # ------------------------------------------------------------------
+    # A dead coordinator must not start transitions from any entry
+    # point. RPC paths are already refused by the network, but these are
+    # callable directly (injector subscriptions, harness code), so each
+    # carries the same liveness guard as on_injector_event (GEM005).
     def notify_failure(self, address: str) -> None:
+        if not self.up:
+            return
         if address in self._alive:
             self.sim.process(self._handle_failure(address),
                              name=f"coord-fail:{address}")
 
     def notify_recovery(self, address: str) -> None:
+        if not self.up:
+            return
         if address not in self._alive:
             self.sim.process(self._handle_recovery(address),
                              name=f"coord-recover:{address}")
 
     def notify_dirty_done(self, fragment_id: int) -> None:
+        if not self.up:
+            return
         self.sim.process(self._handle_dirty_done(fragment_id),
                          name=f"coord-dirty-done:{fragment_id}")
 
     def notify_dirty_lost(self, fragment_id: int) -> None:
         """A client/worker found the dirty list missing or partial."""
+        if not self.up:
+            return
         self.sim.process(self._handle_dirty_lost(fragment_id),
                          name=f"coord-dirty-lost:{fragment_id}")
 
     def notify_wst_done(self, address: str) -> None:
+        if not self.up:
+            return
         self.sim.process(self._handle_wst_done(address),
                          name=f"coord-wst-done:{address}")
 
@@ -220,7 +234,7 @@ class Coordinator(RemoteNode):
     # ------------------------------------------------------------------
     # Transitions (processes; serialized by the mutex)
     # ------------------------------------------------------------------
-    def _handle_failure(self, address: str):
+    def _handle_failure(self, address: str) -> SimGenerator:
         yield self._lock.acquire()
         try:
             if address not in self._alive:
@@ -295,7 +309,7 @@ class Coordinator(RemoteNode):
         finally:
             self._lock.release()
 
-    def _handle_recovery(self, address: str):
+    def _handle_recovery(self, address: str) -> SimGenerator:
         yield self._lock.acquire()
         try:
             if address in self._alive:
@@ -318,7 +332,7 @@ class Coordinator(RemoteNode):
                 out.append(fragment)
         return out
 
-    def _recover_volatile(self, address: str):
+    def _recover_volatile(self, address: str) -> SimGenerator:
         """Baseline: the instance lost its content; wipe and reuse empty."""
         try:
             yield self.network.call(address, CacheOp(op="wipe"))
@@ -336,7 +350,7 @@ class Coordinator(RemoteNode):
                                  len(updates)))
         yield from self._commit(new_id, updates)
 
-    def _recover_stale(self, address: str):
+    def _recover_stale(self, address: str) -> SimGenerator:
         """Baseline: reuse content as-is — floors restored, no repair."""
         new_id = self._config_id + 1
         updates = {}
@@ -352,7 +366,7 @@ class Coordinator(RemoteNode):
                                  len(updates)))
         yield from self._commit(new_id, updates)
 
-    def _recover_gemini(self, address: str):
+    def _recover_gemini(self, address: str) -> SimGenerator:
         """Full protocol: recovery mode for recoverable fragments,
         discard (floor bump) for the rest (Example 3.1)."""
         new_id = self._config_id + 1
@@ -427,7 +441,7 @@ class Coordinator(RemoteNode):
             self.sim.process(self._wst_monitor(address),
                              name=f"wst-monitor:{address}")
 
-    def _handle_dirty_done(self, fragment_id: int):
+    def _handle_dirty_done(self, fragment_id: int) -> SimGenerator:
         yield self._lock.acquire()
         try:
             fragment = self._fragments.get(fragment_id)
@@ -446,7 +460,7 @@ class Coordinator(RemoteNode):
         finally:
             self._lock.release()
 
-    def _handle_dirty_lost(self, fragment_id: int):
+    def _handle_dirty_lost(self, fragment_id: int) -> SimGenerator:
         """The dirty list was evicted (or found partial): terminate
         transient mode and discard the primary replica (Section 3.1)."""
         yield self._lock.acquire()
@@ -469,7 +483,7 @@ class Coordinator(RemoteNode):
         finally:
             self._lock.release()
 
-    def _handle_wst_done(self, address: str):
+    def _handle_wst_done(self, address: str) -> SimGenerator:
         yield self._lock.acquire()
         try:
             new_id = self._config_id + 1
@@ -516,7 +530,7 @@ class Coordinator(RemoteNode):
         self._emit("config_commit", config=self.current)
         yield from self._push_configuration()
 
-    def _push_configuration(self):
+    def _push_configuration(self) -> SimGenerator:
         """Instances first (stale clients must bounce), then subscribers."""
         self.publishes += 1
         config = self.current
@@ -533,7 +547,7 @@ class Coordinator(RemoteNode):
         for callback in self._subscribers:
             callback(config)
 
-    def _create_dirty_lists(self, creates: List[tuple]):
+    def _create_dirty_lists(self, creates: List[tuple]) -> SimGenerator:
         """Initialize marker-bearing dirty lists on the new secondaries.
 
         ``creates`` entries are ``(secondary, fragment_id, fresh)``;
@@ -568,7 +582,7 @@ class Coordinator(RemoteNode):
         """
         self.sim.process(self._monitor_loop(), name="coord-monitor")
 
-    def _monitor_loop(self):
+    def _monitor_loop(self) -> SimGenerator:
         while True:
             yield self.monitor_interval
             for address in self.alive_instances():

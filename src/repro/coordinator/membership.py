@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.cache.instance import CacheOp
 from repro.errors import NetworkError, ReproError
-from repro.sim.core import Simulator
+from repro.sim.core import SimGenerator, Simulator
 from repro.sim.network import Network
 
 __all__ = ["HeartbeatMonitor"]
@@ -25,7 +25,7 @@ class HeartbeatMonitor:
 
     def __init__(self, sim: Simulator, network: Network, coordinator,
                  instances: List[str], interval: float = 0.5,
-                 misses_to_fail: int = 2, rpc_timeout: float = 0.2):
+                 misses_to_fail: int = 2, rpc_timeout: float = 0.2) -> None:
         self.sim = sim
         # The monitor is coordinator-colocated: a coordinator<->instance
         # partition makes it (correctly) perceive the instance as failed.
@@ -46,7 +46,7 @@ class HeartbeatMonitor:
         for address in self.instances:
             self.sim.process(self._watch(address), name=f"heartbeat:{address}")
 
-    def _watch(self, address: str):
+    def _watch(self, address: str) -> SimGenerator:
         while True:
             yield self.interval
             alive = yield from self._ping(address)
@@ -62,7 +62,7 @@ class HeartbeatMonitor:
                     self._declared_down[address] = True
                     self.coordinator.notify_failure(address)
 
-    def _ping(self, address: str):
+    def _ping(self, address: str) -> SimGenerator:
         try:
             response = yield self.network.call(
                 address, CacheOp(op="ping"), timeout=self.rpc_timeout)

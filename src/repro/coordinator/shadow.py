@@ -26,7 +26,7 @@ class CoordinatorEnsemble:
     """One master coordinator plus hot shadows."""
 
     def __init__(self, sim: Simulator, network: Network, master: Coordinator,
-                 num_shadows: int = 1):
+                 num_shadows: int = 1) -> None:
         if num_shadows < 0:
             raise CoordinatorError("num_shadows must be >= 0")
         self.sim = sim

@@ -88,7 +88,7 @@ class GeminiCluster:
         self.oracle = ConsistencyOracle(strict=spec.strict_oracle)
         self.events: Optional[EventLog] = (
             EventLog(clock=lambda: self.sim.now) if spec.events else None)
-        self.recorder = OpRecorder()
+        self.recorder = OpRecorder(rng_registry=self.rng)
         self.recovery_recorder = RecoveryRecorder()
         self.datastore = DataStore(
             self.sim, "datastore",

@@ -23,10 +23,10 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths, strict=True)))
     lines.append(sep)
     for row in cells[1:]:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -53,7 +53,7 @@ class RecoveryPolicy:
     #: Bound on concurrently in-flight repair batches per fragment.
     max_inflight: int = 4
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("gemini", "stale", "volatile"):
             raise ValueError(f"unknown policy kind {self.kind!r}")
         if self.batch_size < 1:

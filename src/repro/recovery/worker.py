@@ -35,7 +35,7 @@ redoes the fragment (Section 3.3).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cache.instance import CacheOp
 from repro.coordinator.coordinator import CoordinatorOp
@@ -46,10 +46,13 @@ from repro.errors import (
     StaleConfiguration,
 )
 from repro.metrics.recovery import RecoveryRecorder
+from repro.config.configuration import Configuration, FragmentInfo
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import Simulator
+from repro.sim.core import Process, SimGenerator, Simulator
 from repro.sim.network import Network
+from repro.sim.rng import fallback_stream
 from repro.types import CACHE_MISS, FragmentMode
+from repro.verify.events import EventLog
 
 __all__ = ["RecoveryWorker"]
 
@@ -66,7 +69,7 @@ class RecoveryWorker:
                  scan_interval: float = 0.05,
                  rng: Optional[random.Random] = None,
                  recovery_recorder: Optional[RecoveryRecorder] = None,
-                 event_log=None):
+                 event_log: Optional[EventLog] = None) -> None:
         self.sim = sim
         #: Optional structured protocol-event stream (verify.events).
         self.event_log = event_log
@@ -75,9 +78,9 @@ class RecoveryWorker:
         self.coordinator_address = coordinator_address
         self.name = name
         self.scan_interval = scan_interval
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, f"recovery-worker.{name}")
         self.recovery = recovery_recorder
-        self.config = None
+        self.config: Optional[Configuration] = None
         self.fragments_recovered = 0
         self.keys_overwritten = 0
         self.keys_deleted = 0
@@ -88,10 +91,10 @@ class RecoveryWorker:
         self.batches_issued = 0
         #: Set when the current pass degraded to deletes; reset per pass.
         self._pass_degraded = False
-        self._process = None
+        self._process: Optional[Process] = None
 
     # ------------------------------------------------------------------
-    def on_config(self, config) -> None:
+    def on_config(self, config: Configuration) -> None:
         """Coordinator push subscription."""
         if self.config is None or config.config_id > self.config.config_id:
             self.config = config
@@ -109,7 +112,7 @@ class RecoveryWorker:
             self._process = None
 
     # ------------------------------------------------------------------
-    def _run(self):
+    def _run(self) -> SimGenerator:
         while True:
             yield self.scan_interval * (0.5 + self.rng.random())
             if self.config is None:
@@ -133,7 +136,7 @@ class RecoveryWorker:
         """
         return CacheOp(client_cfg_id=cfg_id, **fields)
 
-    def _recover_fragment(self, fragment_id: int):
+    def _recover_fragment(self, fragment_id: int) -> SimGenerator:
         fragment = self.config.fragment(fragment_id)
         secondary = fragment.secondary
         cfg = self.config.config_id
@@ -195,7 +198,7 @@ class RecoveryWorker:
         return max(64, self.policy.batch_size * self.policy.max_inflight)
 
     def _repair_fragment(self, fragment_id: int, secondary: Optional[str],
-                         cfg: int) -> Optional[bool]:
+                         cfg: int) -> SimGenerator:
         """Fetch the dirty list in chunks and repair each chunk.
 
         Returns True when every key was handled, False when the pass was
@@ -241,7 +244,7 @@ class RecoveryWorker:
             cursor = page.cursor
 
     def _fetch_dirty_keys(self, fragment_id: int, secondary: Optional[str],
-                          cfg: int) -> Optional[List[str]]:
+                          cfg: int) -> SimGenerator:
         """Monolithic dirty-list fetch; the fallback for chunked reads.
 
         Returns None on a stale-configuration abort.
@@ -269,7 +272,7 @@ class RecoveryWorker:
     # Pipelined batch repair
     # ------------------------------------------------------------------
     def _repair_keys(self, fragment_id: int, keys: List[str],
-                     secondary: Optional[str], cfg: int):
+                     secondary: Optional[str], cfg: int) -> SimGenerator:
         """Repair ``keys`` with a bounded window of in-flight batches.
 
         Returns True when every key was handled and the fragment stayed
@@ -323,8 +326,8 @@ class RecoveryWorker:
                 skipped=result["skipped"], degraded=result["degraded"])
         return result["abort"] is None
 
-    def _repair_chunk(self, fragment, keys: List[str],
-                      secondary: Optional[str], cfg: int):
+    def _repair_chunk(self, fragment: FragmentInfo, keys: List[str],
+                      secondary: Optional[str], cfg: int) -> SimGenerator:
         """One batch repair sub-process. Never raises the expected repair
         errors — they are reported through the result record so that the
         window's AllOf/AnyOf composites cannot fail spuriously."""
@@ -343,8 +346,9 @@ class RecoveryWorker:
             result["abort"] = "unreachable"
         return result
 
-    def _overwrite_chunk(self, fragment, keys: List[str], secondary: str,
-                         cfg: int, result: Dict[str, int]):
+    def _overwrite_chunk(self, fragment: FragmentInfo, keys: List[str],
+                         secondary: str, cfg: int,
+                         result: Dict[str, Any]) -> SimGenerator:
         """Gemini-O: refresh the primary's copies from the secondary —
         three round trips for the whole batch."""
         tokens = yield self.network.call(
@@ -390,8 +394,8 @@ class RecoveryWorker:
             else:
                 result["skipped"] += 1  # lease voided by a client session
 
-    def _delete_chunk(self, fragment, keys: List[str], cfg: int,
-                      result: Dict[str, int]):
+    def _delete_chunk(self, fragment: FragmentInfo, keys: List[str], cfg: int,
+                      result: Dict[str, Any]) -> SimGenerator:
         """Gemini-I (or a degraded Gemini-O pass): drop the stale copies;
         the next read refills them. One round trip per batch."""
         yield self.network.call(

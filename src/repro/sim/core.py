@@ -19,13 +19,20 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import Interrupt, SimulationError
 
 __all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
 
 _PENDING = object()
+
+#: Simulation actors are plain generators; what they yield/receive is
+#: heterogeneous by design (floats, Events, Processes), hence Any.
+SimGenerator = Generator[Any, Any, Any]
+
+#: A scheduled kernel callback with its pre-bound arguments.
+_Callback = Callable[..., None]
 
 
 class Event:
@@ -36,7 +43,7 @@ class Event:
     they started waiting.
     """
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
@@ -88,7 +95,7 @@ class Event:
             self._callbacks.append(callback)
 
     # -- kernel internals ------------------------------------------------
-    _dispatched = False
+    _dispatched: bool = False
 
     def _dispatch(self) -> None:
         self._dispatched = True
@@ -100,7 +107,7 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
         super().__init__(sim)
@@ -119,7 +126,7 @@ class AllOf(Event):
     are delivered as a list in child order.
     """
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         self._remaining = len(self._children)
@@ -133,6 +140,7 @@ class AllOf(Event):
         if self.triggered:
             return
         if not child.ok:
+            assert child._exception is not None  # not ok => failed
             self.fail(child._exception)
             return
         self._remaining -= 1
@@ -146,7 +154,7 @@ class AnyOf(Event):
     The success value is the ``(index, value)`` pair of the winner.
     """
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         if not self._children:
@@ -160,6 +168,7 @@ class AnyOf(Event):
         if child.ok:
             self.succeed((index, child.value))
         else:
+            assert child._exception is not None  # not ok => failed
             self.fail(child._exception)
 
 
@@ -171,7 +180,8 @@ class Process(Event):
     (failure). This is how ``yield other_process`` composes.
     """
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: SimGenerator,
+                 name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise SimulationError(f"Process needs a generator, got {generator!r}")
@@ -268,17 +278,18 @@ class Process(Event):
 class Simulator:
     """The event loop: a heap of (time, seq, callback) entries."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List = []
+        self._heap: List[Tuple[float, int, _Callback, Tuple[Any, ...]]] = []
         #: Zero-delay callbacks: FIFO at the current instant, bypassing
         #: the heap (the majority of kernel events are dispatches).
-        self._now_queue: deque = deque()
+        self._now_queue: Deque[Tuple[_Callback, Tuple[Any, ...]]] = deque()
         self._seq = 0
         self._running = False
 
     # -- scheduling ------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable, *args) -> None:
+    def schedule(self, delay: float, callback: _Callback,
+                 *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay == 0:
             self._now_queue.append((callback, args))
@@ -288,7 +299,8 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
 
-    def schedule_at(self, when: float, callback: Callable, *args) -> None:
+    def schedule_at(self, when: float, callback: _Callback,
+                    *args: Any) -> None:
         """Run ``callback(*args)`` at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
@@ -304,7 +316,7 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(self, generator: SimGenerator, name: str = "") -> Process:
         return Process(self, generator, name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

@@ -18,10 +18,11 @@ executes the schedule against a set of nodes and invokes observer hooks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.core import Simulator
+from repro.sim.network import RemoteNode
 
 __all__ = ["FailureSchedule", "FailureInjector", "check_overlap"]
 
@@ -41,7 +42,7 @@ class FailureSchedule:
     targets: Sequence[str] = field(default_factory=tuple)
     emulated: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.at < 0:
             raise SimulationError("failure time must be non-negative")
         if self.duration is not None and self.duration <= 0:
@@ -65,14 +66,14 @@ def check_overlap(schedules: Sequence[FailureSchedule]) -> None:
     down). A permanent outage (``duration=None``) overlaps everything at or
     after its start.
     """
-    windows: Dict[str, List[tuple]] = {}
+    windows: Dict[str, List[Tuple[float, Optional[float]]]] = {}
     for schedule in schedules:
         for address in schedule.targets:
             windows.setdefault(address, []).append(
                 (schedule.at, schedule.recovers_at))
     for address, spans in windows.items():
         spans.sort(key=lambda s: (s[0], s[1] is not None, s[1]))
-        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:], strict=False):
             if a_end is None or b_start < a_end:
                 raise SimulationError(
                     f"overlapping outages for {address!r}: "
@@ -89,14 +90,15 @@ class FailureInjector:
     paper's emulated failures do.
     """
 
-    def __init__(self, sim: Simulator, nodes=None):
+    def __init__(self, sim: Simulator,
+                 nodes: Optional[Dict[str, RemoteNode]] = None) -> None:
         self.sim = sim
-        self._nodes = dict(nodes or {})
+        self._nodes: Dict[str, RemoteNode] = dict(nodes or {})
         self._observers: List[Callable[[str, str], None]] = []
-        self.log: List[tuple] = []
+        self.log: List[Tuple[float, str, str]] = []
         self._down: Set[str] = set()
 
-    def add_node(self, address: str, node) -> None:
+    def add_node(self, address: str, node: RemoteNode) -> None:
         self._nodes[address] = node
 
     def subscribe(self, observer: Callable[[str, str], None]) -> None:

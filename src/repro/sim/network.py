@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Deque, Dict, Generator, Optional, Set, Tuple
 
 from repro.errors import HostUnreachable, RequestTimeout, SimulationError
 from repro.sim.core import Event, Simulator
@@ -44,7 +44,7 @@ class LatencyModel:
     Defaults approximate an intra-datacenter LAN (~50 µs one way).
     """
 
-    def __init__(self, rng: random.Random, base: float = 50e-6, jitter: float = 20e-6):
+    def __init__(self, rng: random.Random, base: float = 50e-6, jitter: float = 20e-6) -> None:
         if base < 0 or jitter < 0:
             raise SimulationError("latency parameters must be non-negative")
         self.rng = rng
@@ -66,13 +66,13 @@ class ServiceStation:
     miss latency balloons.
     """
 
-    def __init__(self, sim: Simulator, servers: int = 1):
+    def __init__(self, sim: Simulator, servers: int = 1) -> None:
         if servers < 1:
             raise SimulationError("a station needs at least one server")
         self.sim = sim
         self.servers = servers
         self._busy = 0
-        self._queue: deque = deque()
+        self._queue: Deque[Tuple[Event, float, float]] = deque()
         # Cumulative counters for metrics/ablation.
         self.served = 0
         self.total_wait = 0.0
@@ -98,7 +98,7 @@ class ServiceStation:
             self._queue.append(entry)
         return done
 
-    def _start(self, entry) -> None:
+    def _start(self, entry: Tuple[Event, float, float]) -> None:
         done, service_time, enqueued_at = entry
         self._busy += 1
         self.total_wait += self.sim.now - enqueued_at
@@ -129,7 +129,7 @@ class RemoteNode:
     :meth:`service_time` (CPU/storage cost of the request at the node).
     """
 
-    def __init__(self, sim: Simulator, address: str, servers: int = 8):
+    def __init__(self, sim: Simulator, address: str, servers: int = 8) -> None:
         self.sim = sim
         self.address = address
         self.up = True
@@ -165,7 +165,7 @@ class Network:
     DEFAULT_UNREACHABLE_DELAY = 0.05
 
     def __init__(self, sim: Simulator, latency: LatencyModel,
-                 unreachable_delay: Optional[float] = None):
+                 unreachable_delay: Optional[float] = None) -> None:
         self.sim = sim
         self.latency = latency
         self.unreachable_delay = (
@@ -245,8 +245,9 @@ class Network:
     # ------------------------------------------------------------------
     # RPC
     # ------------------------------------------------------------------
-    def call(self, address: str, request: Any, timeout: Optional[float] = None,
-             source: Optional[str] = None):
+    def call(self, address: str, request: Any,
+             timeout: Optional[float] = None,
+             source: Optional[str] = None) -> Event:
         """Issue an RPC; returns an event yielding the response.
 
         Implemented as a callback state machine (not a process) because
@@ -270,7 +271,8 @@ class Network:
         return self.sim.process(self._with_timeout(done, timeout),
                                 name=f"rpc-timeout:{address}")
 
-    def _with_timeout(self, work, timeout: float):
+    def _with_timeout(self, work: Event,
+                      timeout: float) -> Generator[Any, Any, Any]:
         deadline = self.sim.timeout(timeout)
         index, value = yield self.sim.any_of([work, deadline])
         if index == 1:
@@ -354,12 +356,12 @@ class NetworkHandle:
 
     __slots__ = ("_network", "source")
 
-    def __init__(self, network: Network, source: str):
+    def __init__(self, network: Network, source: str) -> None:
         self._network = network
         self.source = source
 
     def call(self, address: str, request: Any,
-             timeout: Optional[float] = None):
+             timeout: Optional[float] = None) -> Event:
         return self._network.call(address, request, timeout,
                                   source=self.source)
 

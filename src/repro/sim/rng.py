@@ -11,15 +11,16 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+import warnings
+from typing import Dict, Optional
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "fallback_stream"]
 
 
 class RngRegistry:
     """A factory of :class:`random.Random` streams derived from one seed."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}
 
@@ -28,6 +29,9 @@ class RngRegistry:
         stream = self._streams.get(name)
         if stream is None:
             digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            # The registry is the one blessed construction site: seeds
+            # derive from the registry seed, preserving determinism.
+            # geminilint: disable=GEM001 -- RngRegistry is the blessed stream factory
             stream = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = stream
         return stream
@@ -36,3 +40,29 @@ class RngRegistry:
         """Derive a child registry (e.g. one per experiment repetition)."""
         digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
         return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+
+def fallback_stream(rng: Optional[random.Random], owner: str,
+                    seed: int = 0) -> random.Random:
+    """Return ``rng``, or a deprecated fixed-seed fallback stream.
+
+    Components must be handed a stream from :class:`RngRegistry`;
+    constructing ``random.Random(0)`` silently at each call site scatters
+    seed derivation across the tree and couples unrelated consumers. The
+    fallback keeps old call sites working (same ``Random(seed)`` draw
+    sequence as before, so recorded fingerprints do not move) but warns:
+    it will become an error once every caller injects a stream.
+    """
+    if rng is not None:
+        return rng
+    warnings.warn(
+        f"{owner}: no rng stream injected; falling back to "
+        f"random.Random({seed}). Pass an RngRegistry stream instead "
+        f"(e.g. registry.stream({owner!r})).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    # Deprecation shim: the legacy fixed-seed fallback lives here (with
+    # a warning) so no other module constructs random.Random directly.
+    # geminilint: disable=GEM001 -- documented deprecation fallback, warns on use
+    return random.Random(seed)

@@ -9,6 +9,7 @@ implemented here against the DES kernel.
 from __future__ import annotations
 
 from collections import deque
+from typing import Deque
 
 from repro.errors import SimulationError
 from repro.sim.core import Event, Simulator
@@ -28,13 +29,13 @@ class Semaphore:
             semaphore.release()
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError("semaphore capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
         self._available = capacity
-        self._waiters: deque = deque()
+        self._waiters: Deque[Event] = deque()
 
     @property
     def available(self) -> int:
@@ -66,5 +67,5 @@ class Semaphore:
 class Mutex(Semaphore):
     """A binary semaphore."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator) -> None:
         super().__init__(sim, capacity=1)

@@ -74,7 +74,7 @@ class EventLog:
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 keep: bool = True):
+                 keep: bool = True) -> None:
         self._clock = clock if clock is not None else (lambda: 0.0)
         self.keep = keep
         self.events: List[ProtocolEvent] = []

@@ -32,10 +32,13 @@ read-after-write oracle:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.types import FragmentMode
 from repro.verify.events import EventLog, ProtocolEvent
+
+if TYPE_CHECKING:  # import cycle: the oracle is only needed for types
+    from repro.verify.oracle import ConsistencyOracle
 
 __all__ = [
     "Violation",
@@ -81,7 +84,7 @@ class Invariant:
 class InvariantRegistry:
     """Fans the event stream out to checkers and collects violations."""
 
-    def __init__(self, event_log: EventLog):
+    def __init__(self, event_log: EventLog) -> None:
         self.event_log = event_log
         self.invariants: List[Invariant] = []
         self.violations: List[Violation] = []
@@ -92,7 +95,7 @@ class InvariantRegistry:
         self.invariants.append(invariant)
         return invariant
 
-    def register_all(self, invariants) -> None:
+    def register_all(self, invariants: Iterable[Invariant]) -> None:
         for invariant in invariants:
             self.register(invariant)
 
@@ -130,7 +133,7 @@ class MonotoneConfigInvariant(Invariant):
 
     name = "monotone-config"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._last: Dict[str, int] = {}
 
     def on_event(self, event: ProtocolEvent) -> List[Violation]:
@@ -167,7 +170,7 @@ class ConfigStructureInvariant(Invariant):
                                 FragmentMode.TRANSIENT},
     }
 
-    def __init__(self):
+    def __init__(self) -> None:
         # Per coordinator actor: fragment_id -> last committed FragmentInfo.
         self._prev: Dict[str, Dict[int, Any]] = {}
 
@@ -235,7 +238,7 @@ class DirtyCompletenessInvariant(Invariant):
 
     name = "dirty-completeness"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._episode: Dict[int, int] = {}
         self._pending: Dict[int, Set[str]] = {}
         self._doomed: Set[int] = set()
@@ -304,7 +307,7 @@ class MarkerIntegrityInvariant(Invariant):
     _PARTIAL = "partial"
     _ABSENT = "absent"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._state: Dict[Tuple[str, int], str] = {}
 
     def _set(self, address: str, fid: int, state: str) -> None:
@@ -359,7 +362,7 @@ class RedleaseExclusionInvariant(Invariant):
 
     name = "redlease-exclusion"
 
-    def __init__(self):
+    def __init__(self) -> None:
         # (address, fragment_id) -> [token, expires_at, released]
         self._holds: Dict[Tuple[str, int], List[Any]] = {}
 
@@ -394,7 +397,7 @@ class ReadAfterWriteInvariant(Invariant):
 
     name = "read-after-write"
 
-    def __init__(self, oracle):
+    def __init__(self, oracle: Optional["ConsistencyOracle"]) -> None:
         self.oracle = oracle
 
     def finish(self) -> List[Violation]:
@@ -412,7 +415,8 @@ class ReadAfterWriteInvariant(Invariant):
             f"{self.oracle.reads_checked}{detail}")]
 
 
-def default_invariants(oracle=None) -> List[Invariant]:
+def default_invariants(
+        oracle: Optional["ConsistencyOracle"] = None) -> List[Invariant]:
     """The standard checker set for chaos trials."""
     invariants: List[Invariant] = [
         MonotoneConfigInvariant(),

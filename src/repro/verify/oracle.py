@@ -51,7 +51,7 @@ class ConsistencyOracle:
     """
 
     def __init__(self, strict: bool = False, bucket_width: float = 1.0,
-                 max_recorded: int = 10_000):
+                 max_recorded: int = 10_000) -> None:
         self.strict = strict
         self.bucket_width = bucket_width
         self.max_recorded = max_recorded

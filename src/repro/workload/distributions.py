@@ -19,6 +19,7 @@ import random
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rng import fallback_stream
 
 __all__ = ["ZipfianGenerator", "UniformGenerator", "HotspotGenerator"]
 
@@ -34,7 +35,7 @@ class ZipfianGenerator:
             raise WorkloadError("theta must be positive")
         self.n = n
         self.theta = theta
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, "workload.zipfian")
         weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
         self._cdf = np.cumsum(weights)
         self._cdf /= self._cdf[-1]
@@ -59,7 +60,7 @@ class UniformGenerator:
         if n <= 0:
             raise WorkloadError("n must be positive")
         self.n = n
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, "workload.uniform")
 
     def next(self) -> int:
         return self.rng.randrange(self.n)
@@ -81,7 +82,7 @@ class HotspotGenerator:
         self.n = n
         self.hot_count = max(1, int(n * hot_fraction))
         self.hot_probability = hot_probability
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, "workload.hotspot")
 
     def next(self) -> int:
         if self.rng.random() < self.hot_probability:

@@ -21,6 +21,7 @@ import random
 from typing import Iterator, Optional
 
 from repro.errors import WorkloadError
+from repro.sim.rng import fallback_stream
 from repro.workload.distributions import ZipfianGenerator
 from repro.workload.keyspace import KeySpace
 from repro.workload.trace import TraceRecord
@@ -51,7 +52,7 @@ class FacebookWorkload:
                  keyspace: Optional[KeySpace] = None):
         if mean_inter_arrival <= 0:
             raise WorkloadError("mean_inter_arrival must be positive")
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = fallback_stream(rng, "workload.facebook")
         self.read_fraction = read_fraction
         self.mean_inter_arrival = mean_inter_arrival
         self.value_sigma = value_sigma

@@ -1,0 +1,66 @@
+"""CLI contract: exit statuses and output formats of ``python -m repro.analysis``."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("def f(rng):\n    return rng.random()\n")
+    return str(path)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("import time\n")
+    return str(path)
+
+
+class TestExitStatus:
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "1 file(s) checked, clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main([dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "GEM001" in out
+
+    def test_unreadable_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        assert main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_rule_code_is_usage_error(self, clean_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([clean_file, "--select", "GEM999"])
+        assert exc.value.code == 2
+
+    def test_no_python_files_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([str(tmp_path)])
+        assert exc.value.code == 2
+
+
+class TestOptions:
+    def test_select_limits_rules(self, dirty_file):
+        assert main([dirty_file, "--select", "GEM005"]) == 0
+
+    def test_json_format(self, dirty_file, capsys):
+        assert main([dirty_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"GEM001": 1}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("GEM001", "GEM002", "GEM003",
+                     "GEM004", "GEM005", "GEM006"):
+            assert code in out

@@ -1,0 +1,74 @@
+"""The analyzer must catch this repo's actual historical bugs.
+
+Each test takes the *current* (fixed) source of the module where a bug
+once lived, applies a minimal textual revert reintroducing the bug, and
+asserts the matching rule fires — and that the unreverted source stays
+clean. This pins the rules to the failures they were written for
+(CHANGES.md: PR 1 stale-read resurrection, PR 2 split-brain).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import analyze_source
+from repro.analysis.rules import LivenessGuard, SessionConfigStamp
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+CLIENT = SRC / "client" / "client.py"
+COORDINATOR = SRC / "coordinator" / "coordinator.py"
+
+#: PR 1's stamping bug: a recovery-mode read path stamped the *live*
+#: configuration id instead of the one captured when the session routed,
+#: letting a session that straddled a Rejig complete against superseded
+#: routing and resurrect a pre-write value.
+STAMP_FIXED = 'self._op("iqget", cfg,'
+STAMP_BUGGED = 'self._op("iqget", self.config.config_id,'
+
+#: PR 2's split-brain: a failed-over coordinator kept acting on direct
+#: callbacks because a notification entry point skipped the liveness
+#: check. Reverting any one ``if not self.up: return`` guard
+#: reintroduces the shape.
+GUARD = "        if not self.up:\n            return\n"
+
+
+class TestPr1ConfigStampRevert:
+    def test_fixed_client_is_clean(self):
+        findings = analyze_source(CLIENT.read_text(), path="client.py",
+                                  rules=[SessionConfigStamp()])
+        assert findings == []
+
+    def test_reverted_client_fires_gem004(self):
+        source = CLIENT.read_text()
+        assert STAMP_FIXED in source, "revert anchor moved; update test"
+        bugged = source.replace(STAMP_FIXED, STAMP_BUGGED, 1)
+        findings = analyze_source(bugged, path="client.py",
+                                  rules=[SessionConfigStamp()])
+        assert [f.code for f in findings] == ["GEM004"]
+        assert "self.config.config_id" in findings[0].message
+
+
+class TestPr2LivenessGuardRevert:
+    def test_fixed_coordinator_is_clean(self):
+        findings = analyze_source(COORDINATOR.read_text(),
+                                  path="coordinator.py",
+                                  rules=[LivenessGuard()])
+        assert findings == []
+
+    @pytest.mark.parametrize("handler", [
+        "notify_failure", "notify_dirty_lost", "on_injector_event",
+    ])
+    def test_reverted_coordinator_fires_gem005(self, handler):
+        source = COORDINATOR.read_text()
+        lines = source.splitlines(keepends=True)
+        start = next(i for i, line in enumerate(lines)
+                     if f"def {handler}(" in line)
+        block = "".join(lines[start:start + 20])
+        assert GUARD in block, "guard moved; update test"
+        reverted = "".join(lines[:start]) + block.replace(GUARD, "", 1) \
+            + "".join(lines[start + 20:])
+        findings = analyze_source(reverted, path="coordinator.py",
+                                  rules=[LivenessGuard()])
+        assert [f.code for f in findings] == ["GEM005"]
+        assert handler in findings[0].message

@@ -1,0 +1,61 @@
+"""Text / JSON reporter tests."""
+
+import json
+
+from repro.analysis.core import AnalysisResult, Finding
+from repro.analysis.reporters import render_json, render_text
+
+
+def make_result():
+    return AnalysisResult(
+        findings=[
+            Finding(code="GEM001", message="wall-clock call time.time()",
+                    path="a.py", line=3, col=4),
+            Finding(code="GEM001", message="global randomness",
+                    path="b.py", line=8),
+            Finding(code="GEM005", message="unguarded callback",
+                    path="c.py", line=1),
+        ],
+        files_checked=3,
+    )
+
+
+class TestRenderText:
+    def test_clean_verdict(self):
+        text = render_text(AnalysisResult(files_checked=7))
+        assert text == "geminilint: 7 file(s) checked, clean"
+
+    def test_findings_listed_with_tally(self):
+        text = render_text(make_result())
+        assert "a.py:3:5: GEM001 wall-clock call time.time()" in text
+        assert "GEM001: 2 finding(s)" in text
+        assert "GEM005: 1 finding(s)" in text
+        assert text.endswith(
+            "geminilint: 3 file(s) checked, 3 finding(s), 0 error(s)")
+
+    def test_errors_reported(self):
+        result = AnalysisResult(files_checked=1, errors=["x.py: bad syntax"])
+        text = render_text(result)
+        assert "error: x.py: bad syntax" in text
+        assert "0 finding(s), 1 error(s)" in text
+
+
+class TestRenderJson:
+    def test_round_trip(self):
+        payload = json.loads(render_json(make_result()))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 3
+        assert payload["counts"] == {"GEM001": 2, "GEM005": 1}
+        assert payload["errors"] == []
+        assert payload["findings"][0] == {
+            "code": "GEM001", "path": "a.py", "line": 3, "col": 4,
+            "message": "wall-clock call time.time()",
+        }
+
+    def test_clean_payload(self):
+        payload = json.loads(render_json(AnalysisResult(files_checked=2)))
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    def test_stable_output_for_baselines(self):
+        assert render_json(make_result()) == render_json(make_result())

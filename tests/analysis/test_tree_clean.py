@@ -1,0 +1,20 @@
+"""The shipped tree must satisfy its own analyzer.
+
+This is the acceptance gate for the PR and the regression net for the
+future: any change that reintroduces a wall clock, an unguarded
+callback, a stamping bug, or an unjustified suppression fails here
+before it ever reaches CI's dedicated analysis job.
+"""
+
+from pathlib import Path
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.reporters import render_text
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_src_tree_is_clean():
+    result = analyze_paths([SRC])
+    assert result.files_checked > 50
+    assert result.ok, "\n" + render_text(result)

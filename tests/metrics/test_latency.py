@@ -7,6 +7,12 @@ import pytest
 from repro.metrics.latency import LatencyReservoir, percentile
 
 
+def make_reservoir(**kwargs):
+    """A reservoir with an injected stream (no deprecation fallback)."""
+    kwargs.setdefault("rng", random.Random(17))
+    return LatencyReservoir(**kwargs)
+
+
 class TestPercentile:
     def test_median_of_odd(self):
         assert percentile([3, 1, 2], 50) == 2
@@ -32,30 +38,30 @@ class TestPercentile:
 
 class TestLatencyReservoir:
     def test_small_streams_exact(self):
-        reservoir = LatencyReservoir(bucket_width=1.0, capacity=100)
+        reservoir = make_reservoir(bucket_width=1.0, capacity=100)
         for latency in (1.0, 2.0, 3.0):
             reservoir.add(0.5, latency)
         assert reservoir.percentile_at(0.5, 100) == 3.0
 
     def test_per_bucket_isolation(self):
-        reservoir = LatencyReservoir()
+        reservoir = make_reservoir()
         reservoir.add(0.5, 1.0)
         reservoir.add(1.5, 100.0)
         assert reservoir.percentile_at(0.0, 50) == 1.0
         assert reservoir.percentile_at(1.0, 50) == 100.0
 
     def test_missing_bucket_is_none(self):
-        assert LatencyReservoir().percentile_at(9.0, 50) is None
+        assert make_reservoir().percentile_at(9.0, 50) is None
 
     def test_percentile_series_sorted(self):
-        reservoir = LatencyReservoir()
+        reservoir = make_reservoir()
         for t in (2.5, 0.5, 1.5):
             reservoir.add(t, t)
         series = reservoir.percentile_series(50)
         assert [point[0] for point in series] == [0.0, 1.0, 2.0]
 
     def test_reservoir_sampling_stays_bounded(self):
-        reservoir = LatencyReservoir(capacity=64)
+        reservoir = make_reservoir(capacity=64)
         for i in range(10_000):
             reservoir.add(0.5, float(i))
         assert reservoir.count() == 10_000
@@ -63,23 +69,29 @@ class TestLatencyReservoir:
 
     def test_reservoir_percentile_approximates(self):
         rng = random.Random(3)
-        reservoir = LatencyReservoir(capacity=512)
+        reservoir = make_reservoir(capacity=512)
         for __ in range(20_000):
             reservoir.add(0.5, rng.random())
         p90 = reservoir.percentile_at(0.5, 90)
         assert 0.85 <= p90 <= 0.95
 
     def test_overall_mean_exact(self):
-        reservoir = LatencyReservoir(capacity=2)
+        reservoir = make_reservoir(capacity=2)
         for latency in (1.0, 2.0, 3.0, 4.0):
             reservoir.add(0.5, latency)
         assert reservoir.overall_mean() == pytest.approx(2.5)
 
     def test_empty_reservoir_reports_none(self):
-        reservoir = LatencyReservoir()
+        reservoir = make_reservoir()
         assert reservoir.overall_percentile(90) is None
         assert reservoir.overall_mean() is None
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             LatencyReservoir(capacity=0)
+
+    def test_missing_rng_falls_back_with_deprecation_warning(self):
+        with pytest.deprecated_call(match="no rng stream injected"):
+            reservoir = LatencyReservoir()
+        reservoir.add(0.5, 1.0)
+        assert reservoir.percentile_at(0.5, 50) == 1.0

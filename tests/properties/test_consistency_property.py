@@ -83,6 +83,18 @@ class TestGeminiNeverServesStale:
         "fail_at": 4.340510942573166, "outage": 3.2515192261018346,
         "second_failure": False, "emulated": True, "switch_pattern": False,
     })
+    # Regression: a recovery-mode reader that hit LeaseBackoff on its
+    # iset used to drop the key from the client's dirty view, assuming
+    # the lease holder had already deleted the stale copy. When the
+    # holder was a *writer's* Q lease (qareg deletes only at dar time --
+    # or never, if the write bounces on a configuration change and the
+    # lease merely expires), the retry read the pre-outage copy through
+    # the plain iqget path (fixed by keeping the key dirty on backoff).
+    @example({
+        "seed": 78, "policy": GEMINI_O_W, "update_fraction": 0.07972064634826898,
+        "fail_at": 4.814132970135146, "outage": 4.2348063863242755,
+        "second_failure": True, "emulated": False, "switch_pattern": False,
+    })
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])

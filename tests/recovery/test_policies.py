@@ -1,5 +1,7 @@
 """Unit tests for the recovery policy definitions (Figure 5)."""
 
+import dataclasses
+
 import pytest
 
 from repro.recovery.policies import (
@@ -79,5 +81,5 @@ class TestLookup:
             policy_by_name("Gemini-X")
 
     def test_policies_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             GEMINI_I.name = "other"

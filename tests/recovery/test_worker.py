@@ -61,7 +61,7 @@ class TestGeminiO:
         worker = cluster.workers[0]
         assert worker.fragments_recovered > 0
         # Every fragment is back to normal; dirty lists are gone.
-        for key, fragment in fragments.items():
+        for fragment in fragments.values():
             current = cluster.coordinator.current.fragment(
                 fragment.fragment_id)
             assert current.mode is FragmentMode.NORMAL

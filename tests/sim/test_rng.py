@@ -1,6 +1,10 @@
 """Unit tests for named RNG streams."""
 
-from repro.sim.rng import RngRegistry
+import random
+
+import pytest
+
+from repro.sim.rng import RngRegistry, fallback_stream
 
 
 class TestRngRegistry:
@@ -43,3 +47,46 @@ class TestRngRegistry:
     def test_fork_deterministic(self):
         assert (RngRegistry(3).fork("a").seed
                 == RngRegistry(3).fork("a").seed)
+
+    def test_fork_child_streams_unaffected_by_parent_draws(self):
+        # Forking derives the child seed from (seed, name) alone: the
+        # child's streams must not depend on how much randomness the
+        # parent consumed before forking.
+        early = RngRegistry(3).fork("rep-1").stream("x").random()
+        parent = RngRegistry(3)
+        for __ in range(50):
+            parent.stream("noise").random()
+        late = parent.fork("rep-1").stream("x").random()
+        assert early == late
+
+    def test_fork_names_independent(self):
+        root = RngRegistry(3)
+        assert root.fork("rep-1").seed != root.fork("rep-2").seed
+
+    def test_nested_fork_deterministic(self):
+        a = RngRegistry(3).fork("rep-1").fork("worker-2").stream("x").random()
+        b = RngRegistry(3).fork("rep-1").fork("worker-2").stream("x").random()
+        assert a == b
+
+
+class TestFallbackStream:
+    def test_injected_stream_returned_unchanged(self):
+        stream = RngRegistry(1).stream("a")
+        assert fallback_stream(stream, "owner") is stream
+
+    def test_injected_stream_does_not_warn(self, recwarn):
+        fallback_stream(RngRegistry(1).stream("a"), "owner")
+        assert not recwarn.list
+
+    def test_missing_stream_warns_with_owner(self):
+        with pytest.deprecated_call(match="some.component"):
+            fallback_stream(None, "some.component")
+
+    def test_fallback_preserves_legacy_sequence(self):
+        # The shim must reproduce random.Random(seed) exactly so that
+        # recorded fingerprints from pre-registry runs do not move.
+        with pytest.deprecated_call():
+            shim = fallback_stream(None, "owner", seed=17)
+        reference = random.Random(17)
+        assert [shim.random() for __ in range(5)] \
+            == [reference.random() for __ in range(5)]

@@ -82,3 +82,86 @@ class TestMutex:
             sim.process(critical(tag))
         sim.run()
         assert violations == []
+
+
+class TestSemaphoreEdgeCases:
+    def test_immediate_acquire_succeeds_synchronously(self, sim):
+        semaphore = Semaphore(sim, capacity=1)
+        event = semaphore.acquire()
+        assert event.triggered
+        assert semaphore.available == 0
+
+    def test_release_hands_slot_directly_to_waiter(self, sim):
+        # With a queue, release() transfers the slot to the head waiter
+        # instead of incrementing the counter: available stays 0.
+        semaphore = Semaphore(sim, capacity=1)
+        semaphore.acquire()
+        waiter = semaphore.acquire()
+        assert semaphore.waiting == 1
+        semaphore.release()
+        assert waiter.triggered
+        assert semaphore.available == 0
+        assert semaphore.waiting == 0
+
+    def test_waiting_counter_tracks_queue(self, sim):
+        semaphore = Semaphore(sim, capacity=1)
+        semaphore.acquire()
+        semaphore.acquire()
+        semaphore.acquire()
+        assert semaphore.waiting == 2
+
+    def test_double_release_after_queue_drains_rejected(self, sim):
+        semaphore = Semaphore(sim, capacity=2)
+        semaphore.acquire()
+        semaphore.acquire()
+        semaphore.release()
+        semaphore.release()
+        with pytest.raises(SimulationError):
+            semaphore.release()
+
+    def test_full_capacity_restored_after_churn(self, sim):
+        semaphore = Semaphore(sim, capacity=3)
+        done = []
+
+        def worker(tag):
+            yield semaphore.acquire()
+            yield 1.0
+            semaphore.release()
+            done.append(tag)
+
+        for tag in range(7):
+            sim.process(worker(tag))
+        sim.run()
+        assert len(done) == 7
+        assert semaphore.available == 3
+        assert semaphore.waiting == 0
+
+
+class TestMutexEdgeCases:
+    def test_mutex_capacity_is_one(self, sim):
+        mutex = Mutex(sim)
+        assert mutex.capacity == 1
+
+    def test_serializes_interleaved_holders(self, sim):
+        # Two processes that each need the mutex twice: sections must
+        # never overlap even when re-acquisitions interleave.
+        mutex = Mutex(sim)
+        trace = []
+
+        def worker(tag):
+            for round_no in range(2):
+                yield mutex.acquire()
+                trace.append(("enter", tag, round_no))
+                yield 0.5
+                trace.append(("exit", tag, round_no))
+                mutex.release()
+                yield 0.1
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        depth = 0
+        for kind, __, __ in trace:
+            depth += 1 if kind == "enter" else -1
+            assert 0 <= depth <= 1
+        assert len(trace) == 8

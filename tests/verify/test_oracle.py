@@ -108,7 +108,7 @@ class TestReporting:
     def test_violation_records_capped(self):
         oracle = ConsistencyOracle(max_recorded=2)
         oracle.record_commit("k", 2, commit_time=0.0)
-        for i in range(5):
+        for __ in range(5):
             oracle.record_read("k", 1, start_time=1.0, finish_time=1.1)
         assert len(oracle.violations) == 2
         assert oracle.stale_reads == 5

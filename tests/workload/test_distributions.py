@@ -24,17 +24,17 @@ class TestZipfian:
         assert counts[0] == max(counts.values())
 
     def test_probabilities_sum_to_one(self):
-        gen = ZipfianGenerator(50, theta=0.9)
+        gen = ZipfianGenerator(50, theta=0.9, rng=random.Random(1))
         assert sum(gen.probability(r) for r in range(50)) == pytest.approx(1.0)
 
     def test_probability_monotone_decreasing(self):
-        gen = ZipfianGenerator(20, theta=0.99)
+        gen = ZipfianGenerator(20, theta=0.99, rng=random.Random(1))
         probabilities = [gen.probability(r) for r in range(20)]
         assert probabilities == sorted(probabilities, reverse=True)
 
     def test_high_theta_concentrates_mass(self):
         """The paper's 'α = 100' regime: almost all mass on rank 0."""
-        gen = ZipfianGenerator(1000, theta=100.0)
+        gen = ZipfianGenerator(1000, theta=100.0, rng=random.Random(1))
         assert gen.probability(0) > 0.999
 
     def test_theta_above_one_supported(self):
@@ -58,7 +58,7 @@ class TestZipfian:
         with pytest.raises(WorkloadError):
             ZipfianGenerator(10, theta=0)
         with pytest.raises(WorkloadError):
-            ZipfianGenerator(10).probability(10)
+            ZipfianGenerator(10, rng=random.Random(1)).probability(10)
 
 
 class TestUniform:
@@ -94,3 +94,10 @@ class TestHotspot:
             HotspotGenerator(10, hot_fraction=0.0)
         with pytest.raises(WorkloadError):
             HotspotGenerator(10, hot_probability=1.5)
+
+
+class TestFallbackDeprecation:
+    def test_missing_rng_warns_but_still_draws(self):
+        with pytest.deprecated_call(match="no rng stream injected"):
+            gen = UniformGenerator(10)
+        assert 0 <= gen.next() < 10

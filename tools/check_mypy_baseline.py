@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Run mypy and gate CI on a committed error baseline.
+
+The strict packages (``repro.sim``, ``repro.verify``, ``repro.config``,
+``repro.analysis`` — see ``[tool.mypy]`` overrides in pyproject.toml)
+must stay error-free: any error under them fails the build outright.
+The rest of the tree type-checks against ``ci/mypy-baseline.txt``:
+errors listed there are tolerated (legacy gaps being burned down),
+anything new fails the build, and entries that stop firing are reported
+so the baseline can be ratcheted down.
+
+While the baseline file still carries the ``# unseeded`` marker,
+non-strict errors are reported but tolerated — run ``--update`` once on
+a machine with the pinned mypy to seed it and arm the ratchet.
+
+Baseline entries are line-number-free (``path: error-code: message``) so
+unrelated edits that shift code around do not invalidate them.
+
+Usage::
+
+    python tools/check_mypy_baseline.py            # gate (CI)
+    python tools/check_mypy_baseline.py --update   # (re)seed the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "ci" / "mypy-baseline.txt"
+UNSEEDED_MARKER = "# unseeded"
+
+#: Paths whose errors are never baselined (mirrors the strict overrides
+#: in pyproject.toml).
+STRICT_PREFIXES = (
+    "src/repro/sim/",
+    "src/repro/verify/",
+    "src/repro/config/",
+    "src/repro/analysis/",
+)
+
+#: ``path:line: error: message  [code]`` -> normalized, line-number-free.
+_ERROR_RE = re.compile(
+    r"^(?P<path>[^:]+):\d+(?::\d+)?: error: (?P<message>.*?)"
+    r"(?:\s+\[(?P<code>[\w-]+)\])?$"
+)
+
+
+def run_mypy() -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(REPO / "pyproject.toml"), "--no-error-summary",
+         "--hide-error-context"],
+        capture_output=True, text=True, cwd=REPO,
+    )
+
+
+def normalize(output: str) -> List[str]:
+    entries = []
+    for line in output.splitlines():
+        match = _ERROR_RE.match(line.strip())
+        if match is None:
+            continue
+        path = match.group("path").replace("\\", "/")
+        code = match.group("code") or "misc"
+        entries.append(f"{path}: {code}: {match.group('message')}")
+    return entries
+
+
+def is_strict(entry: str) -> bool:
+    return entry.startswith(STRICT_PREFIXES)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite ci/mypy-baseline.txt from this run")
+    args = parser.parse_args()
+
+    proc = run_mypy()
+    if proc.returncode not in (0, 1):  # 2 = usage/crash, not type errors
+        sys.stderr.write(proc.stdout + proc.stderr)
+        return proc.returncode
+    current = normalize(proc.stdout)
+    strict_errors = [entry for entry in current if is_strict(entry)]
+    lenient = [entry for entry in current if not is_strict(entry)]
+
+    if args.update:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(
+            "# mypy error baseline: tolerated legacy errors outside the\n"
+            "# strict packages. Regenerate with\n"
+            "#   python tools/check_mypy_baseline.py --update\n"
+            "# Only shrink this file; new errors must be fixed instead.\n"
+            + "".join(f"{entry}\n" for entry in sorted(set(lenient))))
+        print(f"baseline seeded: {len(set(lenient))} tolerated entr(ies)")
+        if strict_errors:
+            print(f"{len(strict_errors)} error(s) in strict packages "
+                  f"cannot be baselined:")
+            for entry in strict_errors:
+                print(f"  {entry}")
+            return 1
+        return 0
+
+    status = 0
+    if strict_errors:
+        print(f"{len(strict_errors)} mypy error(s) in strict packages "
+              f"(never baselined):")
+        for entry in strict_errors:
+            print(f"  {entry}")
+        status = 1
+
+    raw = BASELINE.read_text() if BASELINE.exists() else ""
+    unseeded = UNSEEDED_MARKER in raw
+    baseline = {line for line in raw.splitlines()
+                if line.strip() and not line.startswith("#")}
+    new = [entry for entry in lenient if entry not in baseline]
+    fixed = sorted(baseline - set(lenient))
+
+    if fixed:
+        print(f"note: {len(fixed)} baseline entr(ies) no longer fire; "
+              f"ratchet with --update:")
+        for entry in fixed:
+            print(f"  resolved: {entry}")
+    if new and unseeded:
+        print(f"note: baseline is unseeded; tolerating {len(new)} "
+              f"non-strict error(s) — seed it with --update:")
+        for entry in new:
+            print(f"  {entry}")
+    elif new:
+        print(f"{len(new)} new mypy error(s) not in the baseline:")
+        for entry in new:
+            print(f"  {entry}")
+        status = 1
+    if status == 0:
+        print(f"mypy: strict packages clean; "
+              f"{len(lenient)} non-strict error(s) tolerated, 0 new")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
