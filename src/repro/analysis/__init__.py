@@ -27,7 +27,24 @@ GEM005    State-mutating coordinator/instance callback handlers must
 GEM006    Public mutating protocol methods must emit a
           :mod:`repro.verify.events` protocol event so the invariant
           checkers stay complete.
+GEM007    Stale capture across a yield: routing/config state captured
+          once but read inside a loop that suspends (the PR 1 stale
+          fragment-route bug), or dirty-view entries dropped in the
+          cleanup of a try whose body yields (the PR 3 recovery-read
+          bug).
+GEM008    Lock-order inversion: two cooperative processes acquiring the
+          same locks (including the Redlease) in opposite orders can
+          deadlock the kernel.
+GEM009    Non-atomic check-then-act on completeness markers: a fetched
+          dirty page must have ``.complete`` consulted before use, and
+          ``DirtyList(marker=True)`` may be forged only by
+          ``op_create_dirty``.
 ========  ============================================================
+
+GEM007-GEM009 are interprocedural: they consume per-module yield/lock
+summaries from :mod:`repro.analysis.interproc`, so a helper reached via
+``yield from`` contributes its suspension points and lock acquisitions
+to its callers.
 
 Run with ``python -m repro.analysis src/``; suppress a finding with an
 inline ``# geminilint: disable=GEMxxx -- justification`` comment (the

@@ -148,6 +148,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> Dict[str, Type[Rule]]:
     """Registered rules by code (importing .rules populates this)."""
+    import repro.analysis.interleave  # noqa: F401  - registration side effect
     import repro.analysis.rules  # noqa: F401  - registration side effect
     return dict(_REGISTRY)
 

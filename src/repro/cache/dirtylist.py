@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+from repro.sim.sanitizer import active as _sanitizer_active
+
 __all__ = ["DirtyList", "DirtyPage", "dirty_list_key", "DIRTY_LIST_PREFIX"]
 
 DIRTY_LIST_PREFIX = "__gemini:dirty:"
@@ -78,12 +80,18 @@ class DirtyList:
         return self._size
 
     def append(self, key: str) -> None:
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_write("dirty", f"fragment:{self.fragment_id}")
         if key not in self._keys:
             self._next_seq += 1
             self._keys[key] = self._next_seq
             self._size += len(key) + _PER_KEY_OVERHEAD
 
     def discard(self, key: str) -> bool:
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_write("dirty", f"fragment:{self.fragment_id}")
         if key in self._keys:
             del self._keys[key]
             self._size -= len(key) + _PER_KEY_OVERHEAD
@@ -92,6 +100,9 @@ class DirtyList:
 
     def keys(self) -> List[str]:
         """Snapshot of the dirty keys in insertion order."""
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_read("dirty", f"fragment:{self.fragment_id}")
         return list(self._keys)
 
     def page(self, after: int, limit: int) -> DirtyPage:
@@ -100,6 +111,9 @@ class DirtyList:
         Insertion order equals sequence order (re-appends keep the
         original number), so a plain in-order scan suffices.
         """
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_read("dirty", f"fragment:{self.fragment_id}")
         keys: List[str] = []
         cursor = after
         more = False

@@ -515,7 +515,17 @@ class CacheInstance(RemoteNode):
 
     def op_red_acquire(self, request: CacheOp) -> int:
         """Redlease on a fragment's dirty list for a recovery worker."""
-        lease = self.red.acquire(dirty_list_key(request.fragment_id))
+        resource = dirty_list_key(request.fragment_id)
+        sanitizer = self.sim.sanitizer
+        # Snapshot before the acquire: a healthy Redlease raises
+        # LeaseBackoff while a live holder exists, so reaching the grant
+        # with `prior` alive means mutual exclusion broke (the sanitizer
+        # catches chaos mutants that re-break the lease table itself).
+        prior = self.red.holder(resource) if sanitizer is not None else None
+        lease = self.red.acquire(resource)
+        if sanitizer is not None:
+            sanitizer.on_red_acquire(self.address, resource, lease.token,
+                                     holder_alive=prior is not None)
         self._emit("red_acquired", fragment_id=request.fragment_id,
                    token=lease.token,
                    expires_at=self.sim.now + self.red.lifetime)
@@ -524,6 +534,9 @@ class CacheInstance(RemoteNode):
     def op_red_release(self, request: CacheOp) -> bool:
         released = self.red.release(dirty_list_key(request.fragment_id),
                                     request.token)
+        if released and self.sim.sanitizer is not None:
+            self.sim.sanitizer.on_red_release(
+                self.address, dirty_list_key(request.fragment_id))
         if released:
             self._emit("red_released", fragment_id=request.fragment_id,
                        token=request.token)

@@ -9,6 +9,8 @@ Modes:
   that the recorded violation reproduces byte-for-byte.
 * ``--mutant NAME`` — run everything against a deliberately re-broken
   protocol variant (see :mod:`repro.chaos.mutants`).
+* ``--sanitize`` — run every trial under the interleaving sanitizer
+  (:mod:`repro.sim.sanitizer`); findings count as violations.
 
 Exit status: 0 = all trials invariant-clean, 1 = a violation was found
 (or a replay failed to reproduce), 2 = bad usage.
@@ -33,11 +35,13 @@ REPLAY_VERSION = 1
 
 
 def save_replay(path: str, spec: TrialSpec, result: TrialResult,
-                mutant: Optional[str] = None) -> None:
+                mutant: Optional[str] = None,
+                sanitize: bool = False) -> None:
     """Serialize a failing trial so it can be re-run byte-for-byte."""
     payload = {
         "version": REPLAY_VERSION,
         "mutant": mutant,
+        "sanitize": sanitize,
         "fingerprint": result.fingerprint(),
         "violations": [str(v) for v in result.violations],
         "spec": spec.to_dict(),
@@ -65,10 +69,12 @@ def _print_result(result: TrialResult, verbose: bool) -> None:
               f"{result.events_emitted} protocol events")
 
 
-def _repro_command(seed: int, path: str, mutant: Optional[str]) -> str:
+def _repro_command(seed: int, path: str, mutant: Optional[str],
+                   sanitize: bool = False) -> str:
     mutant_flag = f" --mutant {mutant}" if mutant else ""
+    sanitize_flag = " --sanitize" if sanitize else ""
     return (f"PYTHONPATH=src python -m repro.chaos --seed {seed} "
-            f"--replay {path}{mutant_flag}")
+            f"--replay {path}{mutant_flag}{sanitize_flag}")
 
 
 def _handle_failure(spec: TrialSpec, result: TrialResult,
@@ -81,7 +87,11 @@ def _handle_failure(spec: TrialSpec, result: TrialResult,
     if args.no_shrink:
         minimal_spec, minimal_result = spec, result
     else:
-        shrunk = shrink(spec, result, mutant=args.mutant,
+        def rerun(candidate: TrialSpec) -> TrialResult:
+            return run_trial(candidate, mutant=args.mutant,
+                             sanitize=args.sanitize)
+
+        shrunk = shrink(spec, result, run=rerun,
                         max_runs=args.shrink_budget)
         minimal_spec, minimal_result = shrunk.spec, shrunk.result
         print(f"shrunk: {len(spec.actions)} -> "
@@ -91,21 +101,23 @@ def _handle_failure(spec: TrialSpec, result: TrialResult,
         for action in minimal_spec.actions:
             print(f"  {action}")
     path = args.out
-    save_replay(path, minimal_spec, minimal_result, mutant=args.mutant)
+    save_replay(path, minimal_spec, minimal_result, mutant=args.mutant,
+                sanitize=args.sanitize)
     print(f"replay file: {path}")
     print(f"reproduce with: "
-          f"{_repro_command(spec.seed, path, args.mutant)}")
+          f"{_repro_command(spec.seed, path, args.mutant, args.sanitize)}")
 
 
 def _run_replay(args: argparse.Namespace) -> int:
     payload = load_replay(args.replay)
     mutant = args.mutant if args.mutant is not None else payload.get("mutant")
+    sanitize = args.sanitize or bool(payload.get("sanitize", False))
     spec = TrialSpec.from_dict(payload["spec"])
     if args.seed is not None and args.seed != spec.seed:
         print(f"error: --seed {args.seed} does not match the replay "
               f"file's seed {spec.seed}", file=sys.stderr)
         return 2
-    result = run_trial(spec, mutant=mutant)
+    result = run_trial(spec, mutant=mutant, sanitize=sanitize)
     _print_result(result, args.verbose)
     recorded = payload.get("fingerprint")
     if recorded is not None:
@@ -124,7 +136,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
     clean = 0
     for seed in seeds:
         spec = derive_spec(seed)
-        result = run_trial(spec, mutant=args.mutant)
+        result = run_trial(spec, mutant=args.mutant,
+                           sanitize=args.sanitize)
         if args.verbose or not result.ok:
             _print_result(result, args.verbose)
         if not result.ok:
@@ -133,7 +146,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         clean += 1
         if not args.verbose and clean % 10 == 0:
             print(f"{clean} seed(s) clean...", flush=True)
-    print(f"all {clean} trial(s) invariant-clean"
+    print(f"all {clean} trial(s) "
+          + ("sanitizer- and invariant-clean" if args.sanitize
+             else "invariant-clean")
           + (f" under mutant {args.mutant!r} — the checkers may have "
              f"lost their teeth" if args.mutant else ""))
     return 0
@@ -158,6 +173,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "variant")
     parser.add_argument("--list-mutants", action="store_true",
                         help="list available protocol mutants and exit")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run trials under the interleaving sanitizer; "
+                             "findings count as violations")
     parser.add_argument("--out", default="chaos-repro.json", metavar="FILE",
                         help="replay file written on failure "
                              "(default %(default)s)")

@@ -28,24 +28,44 @@ Mutants:
     into dirty-completeness violations and stale reads (double repair
     deletes the list under the other worker's feet).
 
-A note on what is *not* here: a "stamp the current configuration id
-instead of the session's" mutant (the Rejig bug PR 1 fixed) was tried
-and never detected in 100 seeds — configuration pushes in this
-simulation are synchronous subscriber fan-outs, so the cross-replica
-window is microseconds wide and randomized schedules essentially never
-land in it. That bug family is covered by the targeted property test in
-``tests/client/test_recovery_write_bounce.py`` instead; chaos search and
-property tests are complements, not substitutes.
+``double-release``
+    The coordinator's transition handlers release the transition
+    ``Mutex`` twice — the classic unbalanced-cleanup bug (a release in
+    an ``except`` arm *and* in the ``finally``). Before PR 4's
+    underflow guard the extra release silently minted a phantom slot,
+    so the next two transitions ran concurrently; with the guard it
+    raises ``SimulationError`` inside the handler, killing the
+    transition mid-flight. The protocol invariant checkers miss both
+    shapes on most schedules, but the ``--sanitize`` interleaving
+    sanitizer pins it immediately: a ``release-underflow`` finding at
+    the extra release plus an unobserved ``crashed-process`` at
+    teardown.
+
+A note on what is *not* here: two mutants were tried and retired
+because randomized schedules essentially never land in their windows.
+A "stamp the current configuration id instead of the session's" mutant
+(the Rejig bug PR 1 fixed) went undetected in 100 seeds — pushes in
+this simulation are synchronous subscriber fan-outs, so the
+cross-replica window is microseconds wide; that family is covered by
+the targeted property test in
+``tests/client/test_recovery_write_bounce.py`` instead. An
+"unlocked-transition" mutant (transition ``Mutex`` grants everyone
+immediately) went undetected in 200 sanitized seeds for the same
+reason: transition handlers commit within a few hundred microseconds
+of reading the configuration id, so two transitions virtually never
+overlap the read→commit window even unlocked. Chaos search, the
+sanitizer, and property tests are complements, not substitutes.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 from repro.cache.dirtylist import DirtyList, dirty_list_key
 from repro.cache.instance import CacheInstance
 from repro.cache.leases import Lease, LeaseKind, Redlease
+from repro.sim.sync import Mutex
 
 __all__ = ["MUTANTS", "apply_mutant"]
 
@@ -59,6 +79,7 @@ def _fresh_marker() -> Iterator[None]:
         if key not in self._entries:
             # BUG (re-introduced): recreate the evicted list WITH the
             # marker, erasing the evidence that its prefix is gone.
+            # geminilint: disable=GEM009 -- deliberate mutant: this IS the bug GEM009 exists to catch
             dirty = DirtyList(request.fragment_id, marker=True)
             self._store(key, dirty, request.tag(), dirty.size)
         return original(self, request)
@@ -113,10 +134,28 @@ def _red_always_grant() -> Iterator[None]:
         Redlease.acquire = original
 
 
+@contextmanager
+def _double_release() -> Iterator[None]:
+    original = Mutex.release
+
+    def patched(self):
+        # BUG (re-introduced): unbalanced cleanup releases the lock
+        # twice. The second call underflows the held count.
+        original(self)
+        original(self)
+
+    Mutex.release = patched
+    try:
+        yield
+    finally:
+        Mutex.release = original
+
+
 MUTANTS: Dict[str, object] = {
     "fresh-marker": _fresh_marker,
     "drop-dirty-append": _drop_dirty_append,
     "red-always-grant": _red_always_grant,
+    "double-release": _double_release,
 }
 
 

@@ -211,14 +211,42 @@ def build_trial(spec: TrialSpec):
 
 
 def run_trial(spec: TrialSpec,
-              mutant: Optional[str] = None) -> TrialResult:
-    """Run one trial; optionally under a re-broken protocol variant."""
+              mutant: Optional[str] = None,
+              sanitize: bool = False) -> TrialResult:
+    """Run one trial; optionally under a re-broken protocol variant.
+
+    With ``sanitize`` the interleaving sanitizer rides along: its
+    findings are emitted into the verify event stream (so replay tooling
+    sees the offending interleavings next to the protocol events) and
+    appended to ``violations``, which folds them into the exit status
+    and the fingerprint. The sanitizer is passive, so a clean sanitized
+    run fingerprints identically to an unsanitized one.
+    """
     from repro.chaos.mutants import apply_mutant
+    from repro.sim.sanitizer import SimSanitizer
 
     with apply_mutant(mutant):
         cluster, experiment, registry, threads = build_trial(spec)
-        experiment.run()
-        violations = registry.finish()
+        sanitizer = None
+        if sanitize:
+            sanitizer = SimSanitizer(cluster.sim)
+            sanitizer.install()
+        try:
+            experiment.run()
+            violations = list(registry.finish())
+            if sanitizer is not None:
+                for finding in sanitizer.finish():
+                    cluster.events.emit(
+                        "sanitizer_finding", finding=finding.kind,
+                        actor=finding.actor, at=finding.time,
+                        message=finding.message)
+                    violations.append(Violation(
+                        invariant=f"sanitizer:{finding.kind}",
+                        time=finding.time,
+                        message=f"{finding.actor}: {finding.message}"))
+        finally:
+            if sanitizer is not None:
+                sanitizer.uninstall()
     oracle = cluster.oracle
     return TrialResult(
         spec=spec,

@@ -13,6 +13,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.config.hashing import fragment_for_key
 from repro.errors import CoordinatorError, FragmentUnavailable
+from repro.sim.sanitizer import active as _sanitizer_active
 from repro.types import FragmentMode
 
 __all__ = ["FragmentInfo", "Configuration"]
@@ -80,6 +81,12 @@ class Configuration:
     def evolve(self, new_config_id: int,
                updates: Dict[int, FragmentInfo]) -> "Configuration":
         """Next configuration: replace the given fragments, keep the rest."""
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            # Fires before the local monotonicity check on purpose: a
+            # split-brain's duplicate commit raises here, and the global
+            # epoch finding must not be masked by that exception.
+            sanitizer.on_config_evolve(self.config_id, new_config_id)
         if new_config_id <= self.config_id:
             raise CoordinatorError(
                 f"config ids must increase ({new_config_id} <= {self.config_id})")

@@ -35,6 +35,7 @@ from repro.errors import CoordinatorError, NetworkError, StaleConfiguration
 from repro.recovery.policies import RecoveryPolicy
 from repro.sim.core import SimGenerator, Simulator
 from repro.sim.network import Network, RemoteNode
+from repro.sim.sanitizer import active as _sanitizer_active
 from repro.sim.sync import Mutex
 from repro.types import CACHE_MISS, FragmentMode
 
@@ -93,7 +94,7 @@ class Coordinator(RemoteNode):
         #: Coordinator-held dirty list copies, the fallback used when a
         #: secondary dies during recovery (Section 3.3).
         self._dirty_copy: Dict[int, List[str]] = {}
-        self._lock = Mutex(sim)
+        self._lock = Mutex(sim, name=f"transition-lock:{address}")
         self._subscribers: List[Callable[[Configuration], None]] = []
         #: Pre-failure windowed hit ratio per instance (the h threshold).
         self._pre_failure_hit: Dict[str, float] = {}
@@ -105,6 +106,26 @@ class Coordinator(RemoteNode):
         self.publishes = 0
         self.fragments_discarded = 0
         self.transitions: List[tuple] = []
+
+    # The committed configuration id is the one shared cell whose
+    # check-then-act windows (read under the transition lock, commit
+    # after a fan-out of RPC yields) are NOT protected by the IQ lease
+    # protocol — the transition Mutex alone guards them. Routing every
+    # access through this property gives the interleaving sanitizer a
+    # paired read/write footprint for exactly that cell.
+    @property
+    def _config_id(self) -> int:
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_read("config_id", self.address)
+        return self._config_id_value
+
+    @_config_id.setter
+    def _config_id(self, value: int) -> None:
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.record_write("config_id", self.address)
+        self._config_id_value = value
 
     # ------------------------------------------------------------------
     # Wiring
@@ -241,6 +262,18 @@ class Coordinator(RemoteNode):
                 return
             self._alive.discard(address)
             self._pre_failure_hit[address] = self._window_hit.get(address, 0.0)
+            if not any(a in self._alive for a in self._instances):
+                # Total outage: every instance is down, so there is no
+                # survivor to host dirty lists or absorb the failed
+                # primary's fragments. Leave the configuration untouched
+                # and wait for recoveries — committing here would route
+                # fragments to dead hosts. The interleaving sanitizer
+                # found this path dying inside the assigner with an
+                # unobserved CoordinatorError, mid-transition.
+                self.transitions.append((self.sim.now, "outage",
+                                         address, 0))
+                self._emit("total_outage", address=address)
+                return
             new_id = self._config_id + 1
             updates: Dict[int, FragmentInfo] = {}
             dirty_creates: List[tuple] = []

@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Generator, Iterable,
+                    List, Optional, Tuple)
 
 from repro.errors import Interrupt, SimulationError
+
+if TYPE_CHECKING:  # runtime import would be a cycle; hooks are optional
+    from repro.sim.sanitizer import SimSanitizer
 
 __all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
 
@@ -48,6 +52,8 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Event"], None]] = []
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_event_created(self)
 
     @property
     def triggered(self) -> bool:
@@ -89,6 +95,8 @@ class Event:
         If the event already triggered (and was dispatched), the callback
         runs at the current simulated time on the next kernel step.
         """
+        if self.sim.sanitizer is not None:
+            self._san_observed = True
         if self.triggered and self._dispatched:
             self.sim.schedule(0.0, callback, self)
         else:
@@ -96,6 +104,10 @@ class Event:
 
     # -- kernel internals ------------------------------------------------
     _dispatched: bool = False
+    #: Sanitizer bookkeeping: set once anything registered interest in
+    #: this event (a waiter, run_until), so an unobserved process crash
+    #: can be told apart from an awaited one.
+    _san_observed: bool = False
 
     def _dispatch(self) -> None:
         self._dispatched = True
@@ -123,7 +135,10 @@ class AllOf(Event):
     """Succeeds once every child event has triggered.
 
     Fails with the first child failure; the values of an all-success run
-    are delivered as a list in child order.
+    are delivered as a list in child order. Children that already
+    triggered before construction are accounted for immediately — a
+    composite over resolved events resolves at construction instead of
+    waiting (forever, if the kernel has drained) for a redispatch.
     """
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
@@ -134,7 +149,16 @@ class AllOf(Event):
             self.succeed([])
             return
         for child in self._children:
-            child.add_callback(self._on_child)
+            if child.triggered:
+                if not child.ok:
+                    assert child._exception is not None  # not ok => failed
+                    self.fail(child._exception)
+                    return
+                self._remaining -= 1
+            else:
+                child.add_callback(self._on_child)
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
 
     def _on_child(self, child: Event) -> None:
         if self.triggered:
@@ -151,7 +175,10 @@ class AllOf(Event):
 class AnyOf(Event):
     """Succeeds (or fails) with the first child event that triggers.
 
-    The success value is the ``(index, value)`` pair of the winner.
+    The success value is the ``(index, value)`` pair of the winner. An
+    already-triggered child wins at construction (first in child order),
+    instead of the composite waiting for a redispatch that never comes
+    once the kernel has drained.
     """
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
@@ -160,7 +187,12 @@ class AnyOf(Event):
         if not self._children:
             raise SimulationError("AnyOf needs at least one event")
         for index, child in enumerate(self._children):
-            child.add_callback(lambda c, i=index: self._on_child(i, c))
+            if self.triggered:
+                break  # a pre-resolved child already won
+            if child.triggered:
+                self._on_child(index, child)
+            else:
+                child.add_callback(lambda c, i=index: self._on_child(i, c))
 
     def _on_child(self, index: int, child: Event) -> None:
         if self.triggered:
@@ -191,6 +223,8 @@ class Process(Event):
         self._interrupt_cause: Any = _PENDING
         #: Invalidates in-flight sleep timers after an interrupt.
         self._wait_epoch = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_process_created(self)
         sim.schedule(0.0, self._resume, None, None)
 
     def interrupt(self, cause: Any = None) -> None:
@@ -236,18 +270,30 @@ class Process(Event):
             self._step(value, is_exception=False)
 
     def _step(self, payload: Any, is_exception: bool) -> None:
+        # Each _step is one inter-yield segment: the sanitizer (when
+        # installed) attributes every footprint recorded inside it to
+        # this process and treats the segment as an atomic section.
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.enter_process(self)
         try:
-            if is_exception:
-                target = self._generator.throw(payload)
-            else:
-                target = self._generator.send(payload)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            self.fail(exc)
-            return
-        self._wait_on(target)
+            try:
+                if is_exception:
+                    target = self._generator.throw(payload)
+                else:
+                    target = self._generator.send(payload)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if sanitizer is not None:
+                    sanitizer.on_process_crash(self, exc)
+                self.fail(exc)
+                return
+            self._wait_on(target)
+        finally:
+            if sanitizer is not None:
+                sanitizer.exit_process(self)
 
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, (int, float)):
@@ -286,6 +332,9 @@ class Simulator:
         self._now_queue: Deque[Tuple[_Callback, Tuple[Any, ...]]] = deque()
         self._seq = 0
         self._running = False
+        #: Optional interleaving sanitizer (repro.sim.sanitizer); hooks
+        #: throughout the kernel are no-ops while this stays None.
+        self.sanitizer: Optional["SimSanitizer"] = None
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, delay: float, callback: _Callback,
@@ -367,6 +416,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if self.sanitizer is not None:
+            event._san_observed = True
         self._running = True
         try:
             while not (event.triggered and event._dispatched):

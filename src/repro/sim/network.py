@@ -299,7 +299,15 @@ class Network:
                               done, None, HostUnreachable(node.address))
             return
         try:
-            result = node.handle_request(request)
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                # Synchronous handlers run in kernel-callback context;
+                # attribute their shared-state footprints to the RPC's
+                # source session rather than to "<kernel>".
+                with sanitizer.acting_as(source):
+                    result = node.handle_request(request)
+            else:
+                result = node.handle_request(request)
         except BaseException as exc:  # noqa: BLE001 - app errors travel back
             self._reply(node.address, source, done, None, exc)
             return

@@ -27,14 +27,28 @@ class Semaphore:
             ...
         finally:
             semaphore.release()
+
+    A ``release()`` without a matching held acquire raises
+    :class:`~repro.errors.SimulationError` — even while waiters are
+    queued. The pre-guard code silently handed the phantom slot to the
+    first waiter, corrupting the effective capacity and masking the
+    double-release bug that caused it.
+
+    ``name`` is only used for diagnostics (sanitizer lock labels).
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+    def __init__(self, sim: Simulator, capacity: int = 1,
+                 name: str = "") -> None:
         if capacity < 1:
             raise SimulationError("semaphore capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self._available = capacity
+        #: Slots actually held (immediate grants plus waiter handoffs
+        #: minus releases); the underflow guard keys off this, not
+        #: ``_available``, so it stays correct while waiters queue.
+        self._held = 0
         self._waiters: Deque[Event] = deque()
 
     @property
@@ -50,22 +64,39 @@ class Semaphore:
         event = self.sim.event()
         if self._available > 0:
             self._available -= 1
+            self._held += 1
             event.succeed()
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_lock_acquire(self, event,
+                                                   immediate=True)
         else:
             self._waiters.append(event)
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_lock_acquire(self, event,
+                                                   immediate=False)
         return event
 
     def release(self) -> None:
+        if self._held == 0:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_lock_underflow(self)
+            raise SimulationError("semaphore released more than acquired")
         if self._waiters:
-            self._waiters.popleft().succeed()
+            # Hand the slot straight to the next waiter: _held is
+            # unchanged because ownership transfers, not returns.
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_lock_grant(self, waiter)
         else:
-            if self._available >= self.capacity:
-                raise SimulationError("semaphore released more than acquired")
+            self._held -= 1
             self._available += 1
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_lock_release(self)
 
 
 class Mutex(Semaphore):
     """A binary semaphore."""
 
-    def __init__(self, sim: Simulator) -> None:
-        super().__init__(sim, capacity=1)
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        super().__init__(sim, capacity=1, name=name)

@@ -31,7 +31,12 @@ kind                  fields
                       ``expires_at``
 ``red_released``      ``address``, ``fragment_id``, ``token``
 ``leases_cleared``    ``address`` (real crash wiped DRAM state)
+``total_outage``      ``address`` (last live instance failed; no
+                      transition committed until something recovers)
 ``instance_wiped``    ``address``
+``sanitizer_finding``  ``finding`` (kind), ``actor``, ``at``,
+                      ``message`` — emitted by the chaos runner after
+                      a ``--sanitize`` trial (docs/SANITIZER.md)
 ====================  ==============================================
 
 An *episode* identifies one outage of a fragment: the ``cfg_id`` the

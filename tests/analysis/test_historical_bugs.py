@@ -12,12 +12,16 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.core import analyze_source
+from repro.analysis.interleave import (CheckThenActOnMarkers,
+                                       LockOrderInversion,
+                                       StaleCaptureAcrossYield)
 from repro.analysis.rules import LivenessGuard, SessionConfigStamp
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 CLIENT = SRC / "client" / "client.py"
 COORDINATOR = SRC / "coordinator" / "coordinator.py"
+WORKER = SRC / "recovery" / "worker.py"
 
 #: PR 1's stamping bug: a recovery-mode read path stamped the *live*
 #: configuration id instead of the one captured when the session routed,
@@ -72,3 +76,131 @@ class TestPr2LivenessGuardRevert:
                                   rules=[LivenessGuard()])
         assert [f.code for f in findings] == ["GEM005"]
         assert handler in findings[0].message
+
+
+#: PR 1's stale-routing shape: the read session originally captured its
+#: fragment and configuration id *before* the retry loop, so a session
+#: straddling a Rejig kept routing every retry with superseded state.
+#: The fix moved the capture inside the loop; hoisting it back out is
+#: the minimal revert.
+CAPTURE_FIXED = """\
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            fragment = self.cache.route(key)
+            cfg = self.cache.config_id
+"""
+CAPTURE_BUGGED = """\
+        fragment = self.cache.route(key)
+        cfg = self.cache.config_id
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+"""
+
+#: PR 3's LeaseBackoff drop: ``_read_recovery`` once discarded the dirty
+#: key in a ``finally``, so a claim that bounced on LeaseBackoff still
+#: dropped the key from the session's dirty view and the retry read the
+#: stale pre-outage copy through the iqget path.
+DISCARD_FIXED = """\
+            token = yield self.network.call(
+                primary, self._op("iset", cfg, key=key,
+                                  fragment_cfg_id=fragment.cfg_id))
+            dirty.discard(key)
+"""
+DISCARD_BUGGED = """\
+            try:
+                token = yield self.network.call(
+                    primary, self._op("iset", cfg, key=key,
+                                      fragment_cfg_id=fragment.cfg_id))
+            finally:
+                dirty.discard(key)
+"""
+
+
+class TestPr1StaleCaptureRevert:
+    def test_fixed_client_is_clean(self):
+        findings = analyze_source(CLIENT.read_text(), path="client.py",
+                                  rules=[StaleCaptureAcrossYield()])
+        assert findings == []
+
+    def test_hoisted_capture_fires_gem007(self):
+        source = CLIENT.read_text()
+        assert source.count(CAPTURE_FIXED) == 2, \
+            "capture anchor moved; update test"
+        bugged = source.replace(CAPTURE_FIXED, CAPTURE_BUGGED, 1)
+        findings = analyze_source(bugged, path="client.py",
+                                  rules=[StaleCaptureAcrossYield()])
+        # Both the fragment and the cfg capture go stale.
+        assert [f.code for f in findings] == ["GEM007", "GEM007"]
+        assert any("'fragment'" in f.message for f in findings)
+        assert any("'cfg'" in f.message for f in findings)
+
+
+class TestPr3DirtyViewDropRevert:
+    def test_finally_discard_fires_gem007(self):
+        source = CLIENT.read_text()
+        assert DISCARD_FIXED in source, "discard anchor moved; update test"
+        bugged = source.replace(DISCARD_FIXED, DISCARD_BUGGED, 1)
+        findings = analyze_source(bugged, path="client.py",
+                                  rules=[StaleCaptureAcrossYield()])
+        assert [f.code for f in findings] == ["GEM007"]
+        assert "dirty.discard" in findings[0].message
+
+
+#: The recovery-read bug (fixed alongside geminilint in PR 3): the paged
+#: dirty fetch checked only for CACHE_MISS, ignoring the eviction marker
+#: — a partial page silently repaired a subset of the fragment.
+PAGE_FIXED = "if page is CACHE_MISS or not page.complete:"
+PAGE_BUGGED = "if page is CACHE_MISS:"
+
+
+class TestRecoveryPageMarkerRevert:
+    def test_fixed_worker_is_clean(self):
+        findings = analyze_source(WORKER.read_text(), path="worker.py",
+                                  rules=[CheckThenActOnMarkers()])
+        assert findings == []
+
+    def test_unchecked_page_fires_gem009(self):
+        source = WORKER.read_text()
+        assert PAGE_FIXED in source, "page anchor moved; update test"
+        bugged = source.replace(PAGE_FIXED, PAGE_BUGGED, 1)
+        findings = analyze_source(bugged, path="worker.py",
+                                  rules=[CheckThenActOnMarkers()])
+        assert [f.code for f in findings] == ["GEM009"]
+        assert "'page'" in findings[0].message
+
+
+#: Nothing in the tree nests locks today; GEM008 is pinned by injecting
+#: the minimal inversion into the real worker module — two helpers that
+#: take the Redlease and a local mutex in opposite orders.
+INVERSION = '''
+
+    def _hold_red_then_lock(self, cfg, fragment_id):
+        lease = yield self.network.call(
+            "cache-0", self._cfg(cfg, op="red_acquire",
+                                 fragment_id=fragment_id))
+        yield self._pace.acquire()
+        self._pace.release()
+        yield self.network.call(
+            "cache-0", self._cfg(cfg, op="red_release",
+                                 fragment_id=fragment_id))
+
+    def _hold_lock_then_red(self, cfg, fragment_id):
+        yield self._pace.acquire()
+        lease = yield self.network.call(
+            "cache-0", self._cfg(cfg, op="red_acquire",
+                                 fragment_id=fragment_id))
+        self._pace.release()
+'''
+
+
+class TestLockOrderInversionInjection:
+    def test_fixed_worker_is_clean(self):
+        findings = analyze_source(WORKER.read_text(), path="worker.py",
+                                  rules=[LockOrderInversion()])
+        assert findings == []
+
+    def test_injected_inversion_fires_gem008(self):
+        bugged = WORKER.read_text() + INVERSION
+        findings = analyze_source(bugged, path="worker.py",
+                                  rules=[LockOrderInversion()])
+        assert [f.code for f in findings] == ["GEM008"]
+        assert "redlease" in findings[0].message
+

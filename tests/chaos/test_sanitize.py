@@ -1,0 +1,97 @@
+"""Chaos-runner integration of the interleaving sanitizer."""
+
+from repro.chaos.cli import load_replay, main, save_replay
+from repro.chaos.nemesis import NemesisAction, TrialSpec
+from repro.chaos.runner import run_trial
+from repro.sim.sanitizer import active
+
+
+def small_spec(seed=0, actions=(), **overrides):
+    defaults = dict(seed=seed, num_shadows=0, records=60, threads=2,
+                    duration=8.0, actions=list(actions))
+    defaults.update(overrides)
+    return TrialSpec(**defaults)
+
+
+def crashy_spec(seed=0):
+    return small_spec(seed=seed, actions=[
+        NemesisAction("crash", 2.0, 1.5, "cache-0")])
+
+
+class TestPassivity:
+    def test_clean_sanitized_trial_fingerprints_identically(self):
+        spec = crashy_spec()
+        plain = run_trial(spec)
+        sanitized = run_trial(spec, sanitize=True)
+        assert plain.ok and sanitized.ok
+        assert sanitized.fingerprint() == plain.fingerprint()
+
+    def test_sanitizer_uninstalled_after_trial(self):
+        run_trial(crashy_spec(), sanitize=True)
+        assert active() is None
+
+    def test_sanitizer_uninstalled_after_failing_trial(self):
+        result = run_trial(crashy_spec(), mutant="fresh-marker",
+                           sanitize=True)
+        assert not result.ok
+        assert active() is None
+
+
+class TestFindingsBecomeViolations:
+    def test_double_release_yields_sanitizer_violations(self):
+        result = run_trial(crashy_spec(), mutant="double-release",
+                           sanitize=True)
+        assert not result.ok
+        underflows = [v for v in result.violations
+                      if v.invariant == "sanitizer:lock-underflow"]
+        assert underflows, [str(v) for v in result.violations]
+        assert "transition-lock" in underflows[0].message
+
+    def test_findings_land_in_the_event_stream(self):
+        # run_trial emits one sanitizer_finding protocol event per
+        # finding so replay tooling sees the interleaving next to the
+        # protocol events; the TrialResult only keeps the count.
+        result = run_trial(crashy_spec(), mutant="double-release",
+                           sanitize=True)
+        sanitizer_violations = [v for v in result.violations
+                                if v.invariant.startswith("sanitizer:")]
+        assert result.events_emitted >= len(sanitizer_violations)
+
+    def test_without_sanitize_mutant_findings_absent(self):
+        # The same mutant without --sanitize: the underflow guard still
+        # raises inside handlers, but no sanitizer violations appear.
+        result = run_trial(crashy_spec(), mutant="double-release")
+        assert not any(v.invariant.startswith("sanitizer:")
+                       for v in result.violations)
+
+
+class TestReplayCarriesSanitize:
+    def test_save_replay_records_the_mode(self, tmp_path):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="double-release", sanitize=True)
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="double-release",
+                    sanitize=True)
+        payload = load_replay(str(path))
+        assert payload["sanitize"] is True
+        assert payload["fingerprint"] == result.fingerprint()
+
+    def test_replay_reruns_under_sanitizer(self, tmp_path, capsys):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="double-release", sanitize=True)
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="double-release",
+                    sanitize=True)
+        # exit 1: the violation reproduces; fingerprint must match the
+        # sanitized run, proving --sanitize was re-applied from payload.
+        assert main(["--replay", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "fingerprint matches replay file" in out
+
+    def test_old_replays_without_field_default_off(self, tmp_path):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="fresh-marker")
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="fresh-marker")
+        payload = load_replay(str(path))
+        assert payload["sanitize"] is False

@@ -17,9 +17,32 @@ from repro.sim.core import Simulator
 from repro.workload.ycsb import WORKLOAD_B, ClosedLoopThread, YcsbWorkload
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run every sim-fixture test under the interleaving "
+             "sanitizer (instrumentation smoke: hooks must not change "
+             "kernel behaviour; findings are not asserted)")
+
+
 @pytest.fixture
-def sim() -> Simulator:
-    return Simulator()
+def sim(request):
+    simulator = Simulator()
+    if not request.config.getoption("--sanitize"):
+        yield simulator
+        return
+    from repro.sim.sanitizer import SimSanitizer, active
+    if active() is not None:
+        # a test manages its own sanitizer; don't fight over the hook
+        yield simulator
+        return
+    sanitizer = SimSanitizer(simulator)
+    sanitizer.install()
+    try:
+        yield simulator
+        sanitizer.finish()
+    finally:
+        sanitizer.uninstall()
 
 
 @pytest.fixture

@@ -359,6 +359,76 @@ class TestComposites:
             sim.any_of([])
 
 
+class TestCompositesOverResolvedChildren:
+    """Composites built from already-triggered children must resolve.
+
+    A composite constructed after its children resolved — e.g. by code
+    that collects finished sub-process events and only then combines
+    them, or after the kernel drained — used to wait forever for child
+    dispatches that would never come again.
+    """
+
+    def test_all_of_over_already_triggered_children(self, sim):
+        done1 = sim.event().succeed("a")
+        done2 = sim.event().succeed("b")
+        sim.run()  # children fully dispatched, kernel drained
+        combined = sim.all_of([done1, done2])
+        assert combined.triggered and combined.ok
+        assert combined.value == ["a", "b"]
+
+    def test_all_of_mixed_resolved_and_pending(self, sim):
+        done = sim.event().succeed("early")
+        sim.run()
+        pending = sim.timeout(3.0, "late")
+        combined = sim.all_of([done, pending])
+        assert not combined.triggered
+        sim.run()
+        assert combined.value == ["early", "late"]
+
+    def test_all_of_with_already_failed_child_fails_immediately(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("boom"))
+        sim.run()
+        combined = sim.all_of([bad, sim.timeout(5.0)])
+        assert combined.triggered and not combined.ok
+        with pytest.raises(RuntimeError):
+            combined.value
+
+    def test_any_of_over_already_triggered_child(self, sim):
+        winner = sim.event().succeed("done")
+        sim.run()
+        combined = sim.any_of([sim.timeout(9.0), winner])
+        assert combined.triggered
+        assert combined.value == (1, "done")
+
+    def test_any_of_first_resolved_child_in_order_wins(self, sim):
+        first = sim.event().succeed("first")
+        second = sim.event().succeed("second")
+        sim.run()
+        combined = sim.any_of([first, second])
+        assert combined.value == (0, "first")
+
+    def test_any_of_with_already_failed_child_fails(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("boom"))
+        sim.run()
+        combined = sim.any_of([bad, sim.timeout(5.0)])
+        assert combined.triggered and not combined.ok
+
+    def test_process_can_wait_on_pre_resolved_composite(self, sim):
+        done = sim.event().succeed(41)
+        sim.run()
+        got = []
+
+        def proc():
+            values = yield sim.all_of([done])
+            got.append(values)
+
+        sim.process(proc())
+        sim.run()
+        assert got == [[41]]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def run_once():

@@ -137,6 +137,57 @@ class TestSemaphoreEdgeCases:
         assert semaphore.waiting == 0
 
 
+class TestReleaseUnderflowGuard:
+    """release() without a held acquire raises — even with waiters queued.
+
+    The pre-guard kernel silently handed the phantom slot to the head
+    waiter, which corrupted the effective capacity and masked the
+    double-release bug that caused it (and any sanitizer finding about
+    it).
+    """
+
+    def test_release_with_queued_waiters_but_nothing_held_rejected(self, sim):
+        semaphore = Semaphore(sim, capacity=1)
+        holder = semaphore.acquire()
+        assert holder.triggered
+        waiter = semaphore.acquire()
+        assert not waiter.triggered
+        semaphore.release()          # legitimate: hands the slot to waiter
+        semaphore.release()          # waiter's own release
+        with pytest.raises(SimulationError):
+            semaphore.release()      # nothing is held any more
+        assert semaphore.available == 1
+
+    def test_phantom_slot_never_granted(self, sim):
+        # Construct the masked state directly: a waiter is queued while
+        # zero slots are held (only reachable through a double release).
+        semaphore = Semaphore(sim, capacity=1)
+        semaphore.acquire()
+        stuck = semaphore.acquire()
+        semaphore._held = 0  # simulate prior silent corruption
+        with pytest.raises(SimulationError):
+            semaphore.release()
+        assert not stuck.triggered   # the phantom slot was NOT handed out
+
+    def test_underflow_does_not_corrupt_counters(self, sim):
+        semaphore = Semaphore(sim, capacity=2)
+        with pytest.raises(SimulationError):
+            semaphore.release()
+        assert semaphore.available == 2
+        event = semaphore.acquire()
+        assert event.triggered
+
+    def test_mutex_release_without_acquire_rejected(self, sim):
+        mutex = Mutex(sim)
+        with pytest.raises(SimulationError):
+            mutex.release()
+
+    def test_named_lock_keeps_name(self, sim):
+        mutex = Mutex(sim, name="transition-lock")
+        assert mutex.name == "transition-lock"
+        assert Semaphore(sim, capacity=2, name="inflight").name == "inflight"
+
+
 class TestMutexEdgeCases:
     def test_mutex_capacity_is_one(self, sim):
         mutex = Mutex(sim)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Run geminilint and gate CI on a committed finding baseline.
+
+Mirrors ``tools/check_mypy_baseline.py``: the tree lints against
+``ci/geminilint-baseline.txt`` — findings listed there are tolerated
+(legacy debt being burned down), anything new fails the build, and
+entries that stop firing are reported so the baseline can be ratcheted
+down. The tree is clean today, so the committed baseline is empty and
+every new finding fails immediately; the file exists so a future rule
+that fires on legacy code can land without blocking on a tree-wide
+cleanup.
+
+Baseline entries are line-number-free (``path: code: message``) so
+unrelated edits that shift code around do not invalidate them.
+Point-in-code exemptions should prefer an inline
+``# geminilint: disable=GEMnnn -- reason`` suppression, which keeps the
+justification next to the code; the baseline is for bulk legacy debt
+only.
+
+Usage::
+
+    python tools/check_lint_baseline.py            # gate (CI)
+    python tools/check_lint_baseline.py --update   # (re)seed the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "ci" / "geminilint-baseline.txt"
+UNSEEDED_MARKER = "# unseeded"
+DEFAULT_PATHS = ["src"]
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def run_lint(paths: List[str]) -> dict:
+    from repro.analysis.core import analyze_paths
+    from repro.analysis.reporters import render_json
+    result = analyze_paths(paths)
+    return json.loads(render_json(result))
+
+
+def normalize(report: dict) -> List[str]:
+    entries = []
+    for finding in report["findings"]:
+        path = Path(finding["path"])
+        try:
+            path = path.resolve().relative_to(REPO)
+        except ValueError:
+            pass
+        entries.append(f"{path.as_posix()}: {finding['code']}: "
+                       f"{finding['message']}")
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite ci/geminilint-baseline.txt from "
+                             "this run")
+    args = parser.parse_args()
+    paths = [str(REPO / p) for p in (args.paths or DEFAULT_PATHS)]
+
+    report = run_lint(paths)
+    if report["errors"]:
+        for error in report["errors"]:
+            print(f"error: {error}")
+        return 2
+    current = normalize(report)
+
+    if args.update:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(
+            "# geminilint finding baseline: tolerated legacy findings.\n"
+            "# Regenerate with\n"
+            "#   python tools/check_lint_baseline.py --update\n"
+            "# Only shrink this file; new findings must be fixed (or\n"
+            "# suppressed inline with a reason) instead.\n"
+            + "".join(f"{entry}\n" for entry in sorted(set(current))))
+        print(f"baseline seeded: {len(set(current))} tolerated entr(ies)")
+        return 0
+
+    raw = BASELINE.read_text() if BASELINE.exists() else ""
+    unseeded = UNSEEDED_MARKER in raw
+    baseline = {line for line in raw.splitlines()
+                if line.strip() and not line.startswith("#")}
+    new = [entry for entry in current if entry not in baseline]
+    fixed = sorted(baseline - set(current))
+
+    status = 0
+    if fixed:
+        print(f"note: {len(fixed)} baseline entr(ies) no longer fire; "
+              f"ratchet with --update:")
+        for entry in fixed:
+            print(f"  resolved: {entry}")
+    if new and unseeded:
+        print(f"note: baseline is unseeded; tolerating {len(new)} "
+              f"finding(s) — seed it with --update:")
+        for entry in new:
+            print(f"  {entry}")
+    elif new:
+        print(f"{len(new)} new geminilint finding(s) not in the baseline:")
+        for entry in new:
+            print(f"  {entry}")
+        status = 1
+    if status == 0:
+        print(f"geminilint: {report['files_checked']} file(s) checked; "
+              f"{len(current) - len(new)} baselined finding(s) tolerated, "
+              f"{len(new) if unseeded else 0} tolerated as unseeded, "
+              f"0 blocking")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
