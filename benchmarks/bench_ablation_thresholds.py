@@ -31,7 +31,7 @@ def run_with_threshold(h):
     result = experiment.run()
     wst = {"hits": 0, "misses": 0}
     for client in cluster.clients:
-        counts = client.wst.counts("cache-0")
+        counts = client.wst.totals("cache-0")
         wst["hits"] += counts["hits"]
         wst["misses"] += counts["misses"]
     return {

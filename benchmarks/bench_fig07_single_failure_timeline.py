@@ -19,7 +19,8 @@ from repro.harness.scenarios import (
 )
 from repro.recovery.policies import GEMINI_O, STALE_CACHE, VOLATILE_CACHE
 
-from benchmarks.common import emit, mean_y, run_once, series_window
+from benchmarks.common import (attach_kernel_profile, emit, mean_y,
+                               run_once, series_window)
 from repro.metrics.report import format_table, render_series
 
 FAIL_AT, OUTAGE = 10.0, 10.0
@@ -42,6 +43,9 @@ def bench_fig07_single_failure_timeline(benchmark):
                 for policy in (VOLATILE_CACHE, STALE_CACHE, GEMINI_O)}
 
     results = run_once(benchmark, run)
+    for name, result in results.items():
+        attach_kernel_profile(benchmark, result.cluster,
+                              label=f"kernel:{name}")
     rows = []
     stats = {}
     charts = []

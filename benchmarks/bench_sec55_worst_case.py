@@ -33,7 +33,7 @@ def run_cell(policy):
     result = experiment.run()
     wst_counts = {"hits": 0, "misses": 0}
     for client in cluster.clients:
-        counts = client.wst.counts("cache-0")
+        counts = client.wst.totals("cache-0")
         wst_counts["hits"] += counts["hits"]
         wst_counts["misses"] += counts["misses"]
     return {

@@ -128,6 +128,22 @@ def run_bulk_repair(policy, *, dirty_keys: int = 10_000, seed: int = 7,
     }
 
 
+def attach_kernel_profile(benchmark, cluster, label: str = "kernel") -> None:
+    """Record a run's kernel perf counters in the bench JSON.
+
+    pytest-benchmark serializes ``extra_info`` into its
+    ``--benchmark-json`` output, so regressions in kernel work (steps,
+    heap pressure, message volume) show up next to the wall-time numbers.
+    The host wall-clock busy profile is dropped: it is not comparable
+    across machines, and bench JSON should stay deterministic.
+    """
+    from repro.obs.profile import kernel_profile
+
+    profile = kernel_profile(cluster.sim, cluster.network)
+    profile.pop("busy_wall", None)
+    benchmark.extra_info[label] = profile
+
+
 def series_window(series, start: float, end: float):
     """Slice an (x, y) series to start <= x < end."""
     return [(x, y) for x, y in series if start <= x < end]

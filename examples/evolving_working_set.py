@@ -29,7 +29,7 @@ def run(policy):
         tail=30.0, switch_fraction=1.0)  # 100% pattern change at failure
     cluster, workload, experiment = build_ycsb_experiment(scenario)
     result = experiment.run()
-    wst_hits = sum(c.wst.counts("cache-0")["hits"] for c in cluster.clients)
+    wst_hits = sum(c.wst.totals("cache-0")["hits"] for c in cluster.clients)
     return {
         "policy": policy.name,
         "store_reads": cluster.datastore.reads,

@@ -272,11 +272,16 @@ class CacheInstance(RemoteNode):
     def op_get(self, request: CacheOp) -> Any:
         """Lease-free read (used against secondary replicas, Algorithm 1)."""
         self.stats.gets += 1
+        tracer = self.sim.tracer
         entry = self._lookup(request.key, request.fragment_cfg_id)
         if entry is None:
             self.stats.misses += 1
+            if tracer is not None:
+                tracer.annotate(cache="miss")
             return CACHE_MISS
         self.stats.hits += 1
+        if tracer is not None:
+            tracer.annotate(cache="hit")
         return entry.value
 
     def op_set(self, request: CacheOp) -> bool:
@@ -366,11 +371,18 @@ class CacheInstance(RemoteNode):
         """Read with I-lease-on-miss. Returns ("hit", value) or
         ("miss", token); raises :class:`LeaseBackoff` on lease conflict."""
         self.stats.gets += 1
+        tracer = self.sim.tracer
         entry = self._lookup(request.key, request.fragment_cfg_id)
         if entry is not None:
             self.stats.hits += 1
+            if tracer is not None:
+                # Lands on the enclosing rpc span (Network._serve runs
+                # sync handlers under tracer.serve_push).
+                tracer.annotate(cache="hit")
             return ("hit", entry.value)
         self.stats.misses += 1
+        if tracer is not None:
+            tracer.annotate(cache="miss")
         lease = self.leases.acquire_i(request.key)
         return ("miss", lease.token)
 

@@ -11,6 +11,9 @@ Modes:
   protocol variant (see :mod:`repro.chaos.mutants`).
 * ``--sanitize`` — run every trial under the interleaving sanitizer
   (:mod:`repro.sim.sanitizer`); findings count as violations.
+* ``--trace`` — run every trial under the GeminiTrace causal tracer
+  (:mod:`repro.obs`); trace well-formedness problems count as
+  ``trace:*`` violations.
 
 Exit status: 0 = all trials invariant-clean, 1 = a violation was found
 (or a replay failed to reproduce), 2 = bad usage.
@@ -36,12 +39,14 @@ REPLAY_VERSION = 1
 
 def save_replay(path: str, spec: TrialSpec, result: TrialResult,
                 mutant: Optional[str] = None,
-                sanitize: bool = False) -> None:
+                sanitize: bool = False,
+                trace: bool = False) -> None:
     """Serialize a failing trial so it can be re-run byte-for-byte."""
     payload = {
         "version": REPLAY_VERSION,
         "mutant": mutant,
         "sanitize": sanitize,
+        "trace": trace,
         "fingerprint": result.fingerprint(),
         "violations": [str(v) for v in result.violations],
         "spec": spec.to_dict(),
@@ -70,11 +75,12 @@ def _print_result(result: TrialResult, verbose: bool) -> None:
 
 
 def _repro_command(seed: int, path: str, mutant: Optional[str],
-                   sanitize: bool = False) -> str:
+                   sanitize: bool = False, trace: bool = False) -> str:
     mutant_flag = f" --mutant {mutant}" if mutant else ""
     sanitize_flag = " --sanitize" if sanitize else ""
+    trace_flag = " --trace" if trace else ""
     return (f"PYTHONPATH=src python -m repro.chaos --seed {seed} "
-            f"--replay {path}{mutant_flag}{sanitize_flag}")
+            f"--replay {path}{mutant_flag}{sanitize_flag}{trace_flag}")
 
 
 def _handle_failure(spec: TrialSpec, result: TrialResult,
@@ -89,7 +95,7 @@ def _handle_failure(spec: TrialSpec, result: TrialResult,
     else:
         def rerun(candidate: TrialSpec) -> TrialResult:
             return run_trial(candidate, mutant=args.mutant,
-                             sanitize=args.sanitize)
+                             sanitize=args.sanitize, trace=args.trace)
 
         shrunk = shrink(spec, result, run=rerun,
                         max_runs=args.shrink_budget)
@@ -102,22 +108,26 @@ def _handle_failure(spec: TrialSpec, result: TrialResult,
             print(f"  {action}")
     path = args.out
     save_replay(path, minimal_spec, minimal_result, mutant=args.mutant,
-                sanitize=args.sanitize)
+                sanitize=args.sanitize, trace=args.trace)
     print(f"replay file: {path}")
-    print(f"reproduce with: "
-          f"{_repro_command(spec.seed, path, args.mutant, args.sanitize)}")
+    command = _repro_command(spec.seed, path, args.mutant, args.sanitize,
+                             args.trace)
+    print(f"reproduce with: {command}")
 
 
 def _run_replay(args: argparse.Namespace) -> int:
     payload = load_replay(args.replay)
     mutant = args.mutant if args.mutant is not None else payload.get("mutant")
     sanitize = args.sanitize or bool(payload.get("sanitize", False))
+    # Old replay files have no "trace" field; default off.
+    trace = args.trace or bool(payload.get("trace", False))
     spec = TrialSpec.from_dict(payload["spec"])
     if args.seed is not None and args.seed != spec.seed:
         print(f"error: --seed {args.seed} does not match the replay "
               f"file's seed {spec.seed}", file=sys.stderr)
         return 2
-    result = run_trial(spec, mutant=mutant, sanitize=sanitize)
+    result = run_trial(spec, mutant=mutant, sanitize=sanitize,
+                       trace=trace)
     _print_result(result, args.verbose)
     recorded = payload.get("fingerprint")
     if recorded is not None:
@@ -137,7 +147,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     for seed in seeds:
         spec = derive_spec(seed)
         result = run_trial(spec, mutant=args.mutant,
-                           sanitize=args.sanitize)
+                           sanitize=args.sanitize, trace=args.trace)
         if args.verbose or not result.ok:
             _print_result(result, args.verbose)
         if not result.ok:
@@ -176,6 +186,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sanitize", action="store_true",
                         help="run trials under the interleaving sanitizer; "
                              "findings count as violations")
+    parser.add_argument("--trace", action="store_true",
+                        help="run trials under the GeminiTrace tracer; "
+                             "trace well-formedness problems count as "
+                             "violations")
     parser.add_argument("--out", default="chaos-repro.json", metavar="FILE",
                         help="replay file written on failure "
                              "(default %(default)s)")

@@ -212,7 +212,8 @@ def build_trial(spec: TrialSpec):
 
 def run_trial(spec: TrialSpec,
               mutant: Optional[str] = None,
-              sanitize: bool = False) -> TrialResult:
+              sanitize: bool = False,
+              trace: bool = False) -> TrialResult:
     """Run one trial; optionally under a re-broken protocol variant.
 
     With ``sanitize`` the interleaving sanitizer rides along: its
@@ -221,8 +222,17 @@ def run_trial(spec: TrialSpec,
     appended to ``violations``, which folds them into the exit status
     and the fingerprint. The sanitizer is passive, so a clean sanitized
     run fingerprints identically to an unsanitized one.
+
+    With ``trace`` a GeminiTrace tracer rides along the same way: trace
+    well-formedness (every span closed, parented, sim-time-monotone,
+    config-id-consistent — see :mod:`repro.obs.wellformed`) becomes a
+    protocol invariant, reported as ``trace:*`` violations. The tracer
+    is passive too, so tracing must never change the fingerprint of a
+    clean run — that equality is itself asserted in CI.
     """
     from repro.chaos.mutants import apply_mutant
+    from repro.obs.trace import Tracer
+    from repro.obs.wellformed import check_trace
     from repro.sim.sanitizer import SimSanitizer
 
     with apply_mutant(mutant):
@@ -231,6 +241,10 @@ def run_trial(spec: TrialSpec,
         if sanitize:
             sanitizer = SimSanitizer(cluster.sim)
             sanitizer.install()
+        tracer = None
+        if trace:
+            tracer = Tracer(cluster.sim)
+            tracer.install()
         try:
             experiment.run()
             violations = list(registry.finish())
@@ -244,7 +258,16 @@ def run_trial(spec: TrialSpec,
                         invariant=f"sanitizer:{finding.kind}",
                         time=finding.time,
                         message=f"{finding.actor}: {finding.message}"))
+            if tracer is not None:
+                spans = tracer.finish()
+                for problem in check_trace(spans, dropped=tracer.dropped):
+                    violations.append(Violation(
+                        invariant=f"trace:{problem.kind}",
+                        time=cluster.sim.now,
+                        message=problem.describe()))
         finally:
+            if tracer is not None:
+                tracer.uninstall()
             if sanitizer is not None:
                 sanitizer.uninstall()
     oracle = cluster.oracle

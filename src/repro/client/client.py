@@ -187,6 +187,26 @@ class GeminiClient:
         except _UNREACHABLE:
             pass
 
+    @staticmethod
+    def _end_attempt(tracer: Any, span: Any, status: str, started: float,
+                     attempt: int, fragment: Any, cfg: int) -> None:
+        """Close a bounced attempt's span, materializing it if lazy.
+
+        First attempts are not traced eagerly — the clean single-attempt
+        session (the overwhelming majority of traffic) would pay span
+        churn for nothing the session span doesn't already carry. A
+        first attempt that bounces is recorded retroactively over its
+        ``[started, now]`` interval instead, so every retry is still
+        classified.
+        """
+        if span is not None:
+            tracer.end(span, status=status)
+        else:
+            tracer.closed("attempt", kind="attempt", start=started,
+                          status=status, seq=attempt,
+                          fragment_id=fragment.fragment_id,
+                          mode=fragment.mode.name, config_id=cfg)
+
     # ------------------------------------------------------------------
     # Public sessions
     # ------------------------------------------------------------------
@@ -198,35 +218,85 @@ class GeminiClient:
         instance: Optional[str] = None
         store_direct = False
         unreachable_strikes = 0
-        for attempt in range(1, self.MAX_ATTEMPTS + 1):
-            fragment = self.cache.route(key)
-            cfg = self.cache.config_id
-            try:
-                value, hit, instance = yield from self._read_once(
-                    fragment, key, cfg)
-                break
-            except LeaseBackoff:
-                if self.recorder is not None:
-                    self.recorder.record_backoff()
-                yield self._backoff_delay(attempt)
-            except StaleConfiguration:
-                yield from self._refresh_config()
-            except FragmentUnavailable:
-                yield self.suspension_delay
-                yield from self._refresh_config()
-            except _UNREACHABLE:
-                unreachable_strikes += 1
-                suspect = self._suspect(fragment)
-                if suspect is not None:
-                    yield from self._report_failure(suspect)
-                yield from self._refresh_config()
-                if unreachable_strikes >= 2:
-                    # Section 2.2: while the fragment has no serving
-                    # replica, reads are processed using the data store.
-                    value = yield from self._store_read(key)
-                    store_direct = True
+        attempts = 0
+        tracer = self.sim.tracer
+        span = (tracer.begin("read", kind="session", client=self.name,
+                             key=key) if tracer is not None else None)
+        attempt_span = None
+        try:
+            for attempt in range(1, self.MAX_ATTEMPTS + 1):
+                attempts = attempt
+                fragment = self.cache.route(key)
+                cfg = self.cache.config_id
+                if tracer is not None:
+                    # First attempts are traced lazily (see _end_attempt):
+                    # the clean single-attempt session — the overwhelming
+                    # majority — pays no span churn.
+                    attempt_started = self.sim.now
+                    if attempt > 1:
+                        attempt_span = tracer.begin(
+                            "attempt", kind="attempt", seq=attempt,
+                            fragment_id=fragment.fragment_id,
+                            mode=fragment.mode.name, config_id=cfg)
+                try:
+                    value, hit, instance = yield from self._read_once(
+                        fragment, key, cfg)
+                    if attempt_span is not None:
+                        tracer.end(attempt_span)
                     break
-                yield self.suspension_delay
+                except LeaseBackoff:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "lease-backoff", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    if self.recorder is not None:
+                        self.recorder.record_backoff()
+                    yield self._backoff_delay(attempt)
+                except StaleConfiguration:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "stale-config", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    yield from self._refresh_config()
+                except FragmentUnavailable:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "unavailable", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    yield self.suspension_delay
+                    yield from self._refresh_config()
+                except _UNREACHABLE:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "unreachable", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    unreachable_strikes += 1
+                    suspect = self._suspect(fragment)
+                    if suspect is not None:
+                        yield from self._report_failure(suspect)
+                    yield from self._refresh_config()
+                    if unreachable_strikes >= 2:
+                        # Section 2.2: while the fragment has no serving
+                        # replica, reads are processed using the data store.
+                        value = yield from self._store_read(key)
+                        store_direct = True
+                        break
+                    yield self.suspension_delay
+        finally:
+            if tracer is not None:
+                # Idempotent closes: an unexpected exception mid-attempt
+                # must not leave the session parented on this process's
+                # context stack (later sessions would mis-parent there).
+                if attempt_span is not None:
+                    tracer.end(attempt_span, status="error")
+                tracer.end(span,
+                           status="ok" if value is not None else "error",
+                           attempts=attempts, hit=hit,
+                           store_direct=store_direct)
         if value is None:
             raise ReproError(f"read of {key!r} exhausted retries")
         end = self.sim.now
@@ -248,32 +318,77 @@ class GeminiClient:
         session = {"store_done": False, "value": None}
         value: Optional[Value] = None
         suspended = 0.0
-        for attempt in range(1, self.MAX_ATTEMPTS + 1):
-            fragment = self.cache.route(key)
-            cfg = self.cache.config_id
-            try:
-                yield from self._write_once(fragment, key, cfg, size, session)
-                value = session["value"]
-                break
-            except LeaseBackoff:
-                if self.recorder is not None:
-                    self.recorder.record_backoff()
-                yield self._backoff_delay(attempt)
-            except StaleConfiguration:
-                yield from self._refresh_config()
-            except FragmentUnavailable:
-                # Section 2.2: writes are suspended until a secondary is
-                # published.
-                suspended += self.suspension_delay
-                yield self.suspension_delay
-                yield from self._refresh_config()
-            except _UNREACHABLE:
-                suspended += self.suspension_delay
-                suspect = self._suspect(fragment)
-                if suspect is not None:
-                    yield from self._report_failure(suspect)
-                yield self.suspension_delay
-                yield from self._refresh_config()
+        attempts = 0
+        tracer = self.sim.tracer
+        span = (tracer.begin("write", kind="session", client=self.name,
+                             key=key) if tracer is not None else None)
+        attempt_span = None
+        try:
+            for attempt in range(1, self.MAX_ATTEMPTS + 1):
+                attempts = attempt
+                fragment = self.cache.route(key)
+                cfg = self.cache.config_id
+                if tracer is not None:
+                    # Lazy first attempts — same rationale as read().
+                    attempt_started = self.sim.now
+                    if attempt > 1:
+                        attempt_span = tracer.begin(
+                            "attempt", kind="attempt", seq=attempt,
+                            fragment_id=fragment.fragment_id,
+                            mode=fragment.mode.name, config_id=cfg)
+                try:
+                    yield from self._write_once(fragment, key, cfg, size,
+                                                session)
+                    value = session["value"]
+                    if attempt_span is not None:
+                        tracer.end(attempt_span)
+                    break
+                except LeaseBackoff:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "lease-backoff", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    if self.recorder is not None:
+                        self.recorder.record_backoff()
+                    yield self._backoff_delay(attempt)
+                except StaleConfiguration:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "stale-config", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    yield from self._refresh_config()
+                except FragmentUnavailable:
+                    # Section 2.2: writes are suspended until a secondary
+                    # is published.
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "unavailable", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    suspended += self.suspension_delay
+                    yield self.suspension_delay
+                    yield from self._refresh_config()
+                except _UNREACHABLE:
+                    if tracer is not None:
+                        self._end_attempt(tracer, attempt_span,
+                                          "unreachable", attempt_started,
+                                          attempt, fragment, cfg)
+                        attempt_span = None
+                    suspended += self.suspension_delay
+                    suspect = self._suspect(fragment)
+                    if suspect is not None:
+                        yield from self._report_failure(suspect)
+                    yield self.suspension_delay
+                    yield from self._refresh_config()
+        finally:
+            if tracer is not None:
+                if attempt_span is not None:
+                    tracer.end(attempt_span, status="error")
+                tracer.end(span,
+                           status="ok" if value is not None else "error",
+                           attempts=attempts, suspended_for=suspended)
         if value is None:
             raise ReproError(f"write of {key!r} exhausted retries")
         end = self.sim.now
@@ -353,7 +468,8 @@ class GeminiClient:
                              fragment_cfg_id=fragment.cfg_id))
             except (StaleConfiguration, *_UNREACHABLE):
                 found = CACHE_MISS
-            self.wst.observe(primary, found is not CACHE_MISS)
+            self.wst.observe(primary, fragment.episode,
+                             found is not CACHE_MISS)
             if found is not CACHE_MISS:
                 yield from self._fill(primary, fragment, key, cfg, found,
                                       token)

@@ -34,6 +34,12 @@ class FragmentInfo:
     #: meaningful in recovery mode; the coordinator flips it off when the
     #: termination condition fires).
     wst_active: bool = False
+    #: Outage episode this fragment is in: the cfg_id the coordinator
+    #: stamped when the fragment entered transient mode, kept through
+    #: recovery mode. Working-set-transfer counts are namespaced by it
+    #: so back-to-back outages of the same primary never share counts.
+    #: 0 outside an outage.
+    episode: int = 0
 
     def serving_replica(self) -> str:
         """Address clients direct normal traffic to in the current mode."""

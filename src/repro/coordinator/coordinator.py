@@ -100,7 +100,8 @@ class Coordinator(RemoteNode):
         self._pre_failure_hit: Dict[str, float] = {}
         self._last_stats: Dict[str, Dict[str, int]] = {}
         self._window_hit: Dict[str, float] = {}
-        self._wst_feedback: Optional[Callable[[str], Dict[str, int]]] = None
+        self._wst_feedback: Optional[
+            Callable[[str, int], Dict[str, int]]] = None
         self._last_wst_counts: Dict[str, Dict[str, int]] = {}
         # Counters
         self.publishes = 0
@@ -138,9 +139,13 @@ class Coordinator(RemoteNode):
         if self.event_log is not None:
             self.event_log.emit(kind, actor=self.address, **data)
 
-    def register_wst_feedback(self, fn: Callable[[str], Dict[str, int]]) -> None:
+    def register_wst_feedback(
+            self, fn: Callable[[str, int], Dict[str, int]]) -> None:
         """Aggregated client-side WST lookup counters per recovering
-        instance (stands in for client->coordinator feedback RPCs)."""
+        instance *and outage episode* (stands in for the
+        client->coordinator feedback RPCs). Episode-keying keeps counts
+        from a previous outage of the same primary out of the
+        m-threshold termination decision."""
         self._wst_feedback = fn
 
     def alive_instances(self) -> List[str]:
@@ -255,8 +260,28 @@ class Coordinator(RemoteNode):
     # ------------------------------------------------------------------
     # Transitions (processes; serialized by the mutex)
     # ------------------------------------------------------------------
+    def _trace_transition(self, name: str, **attrs: Any):
+        """Open a transition span (or None when no tracer is installed).
+
+        Spans open *before* the lock acquire so the serialized wait shows
+        up as span time; the caller stamps ``lock_wait`` after acquiring.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(name, kind="transition", **attrs)
+
+    def _trace_close(self, span) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.end(span)
+
     def _handle_failure(self, address: str) -> SimGenerator:
+        span = self._trace_transition("failure", address=address)
+        queued = self.sim.now
         yield self._lock.acquire()
+        if span is not None:
+            span.attrs["lock_wait"] = self.sim.now - queued
         try:
             if address not in self._alive:
                 return
@@ -287,7 +312,7 @@ class Coordinator(RemoteNode):
                     self._dirty_done.discard(fid)
                     updates[fid] = fragment.replace(
                         secondary=secondary, mode=FragmentMode.TRANSIENT,
-                        cfg_id=new_id, wst_active=False)
+                        cfg_id=new_id, wst_active=False, episode=new_id)
                     self._emit("transient_begin", fragment_id=fid,
                                episode=new_id, secondary=secondary,
                                resumed=False)
@@ -313,7 +338,7 @@ class Coordinator(RemoteNode):
                     replacement = next(assign)
                     self.fragments_discarded += 1
                     updates[fid] = fragment.replace(
-                        secondary=replacement, cfg_id=new_id)
+                        secondary=replacement, cfg_id=new_id, episode=new_id)
                     self._emit("fragment_unrecoverable", fragment_id=fid)
                     self._emit("transient_begin", fragment_id=fid,
                                episode=new_id, secondary=replacement,
@@ -338,12 +363,18 @@ class Coordinator(RemoteNode):
                 self._config_id = new_id
                 self.current = self.current.evolve(new_id, {})
                 self._emit("config_commit", config=self.current)
+                self._trace_commit(new_id, 0)
                 yield from self._push_configuration()
         finally:
             self._lock.release()
+            self._trace_close(span)
 
     def _handle_recovery(self, address: str) -> SimGenerator:
+        span = self._trace_transition("recovery", address=address)
+        queued = self.sim.now
         yield self._lock.acquire()
+        if span is not None:
+            span.attrs["lock_wait"] = self.sim.now - queued
         try:
             if address in self._alive:
                 return
@@ -356,6 +387,7 @@ class Coordinator(RemoteNode):
                 yield from self._recover_gemini(address)
         finally:
             self._lock.release()
+            self._trace_close(span)
 
     def _recovering_fragments(self, address: str) -> List[FragmentInfo]:
         """Fragments homed at `address` currently served elsewhere."""
@@ -378,7 +410,7 @@ class Coordinator(RemoteNode):
                 continue
             updates[fragment.fragment_id] = fragment.replace(
                 primary=address, secondary=None, mode=FragmentMode.NORMAL,
-                cfg_id=new_id, wst_active=False)
+                cfg_id=new_id, wst_active=False, episode=0)
         self.transitions.append((self.sim.now, "recover-volatile", address,
                                  len(updates)))
         yield from self._commit(new_id, updates)
@@ -394,7 +426,7 @@ class Coordinator(RemoteNode):
             floor = self._pre_failure_cfg.get(fid, fragment.cfg_id)
             updates[fid] = fragment.replace(
                 primary=address, secondary=None, mode=FragmentMode.NORMAL,
-                cfg_id=floor, wst_active=False)
+                cfg_id=floor, wst_active=False, episode=0)
         self.transitions.append((self.sim.now, "recover-stale", address,
                                  len(updates)))
         yield from self._commit(new_id, updates)
@@ -440,7 +472,7 @@ class Coordinator(RemoteNode):
                         pass
                 updates[fid] = fragment.replace(
                     primary=address, secondary=None, mode=FragmentMode.NORMAL,
-                    cfg_id=new_id, wst_active=False)
+                    cfg_id=new_id, wst_active=False, episode=0)
                 continue
             floor = self._pre_failure_cfg.get(fid, fragment.cfg_id)
             info = fragment.replace(
@@ -475,7 +507,11 @@ class Coordinator(RemoteNode):
                              name=f"wst-monitor:{address}")
 
     def _handle_dirty_done(self, fragment_id: int) -> SimGenerator:
+        span = self._trace_transition("dirty-done", fragment_id=fragment_id)
+        queued = self.sim.now
         yield self._lock.acquire()
+        if span is not None:
+            span.attrs["lock_wait"] = self.sim.now - queued
         try:
             fragment = self._fragments.get(fragment_id)
             if fragment is None or fragment.mode is not FragmentMode.RECOVERY:
@@ -487,16 +523,21 @@ class Coordinator(RemoteNode):
                 return  # stays in recovery until the transfer terminates
             new_id = self._config_id + 1
             updates = {fragment_id: fragment.replace(
-                secondary=None, mode=FragmentMode.NORMAL)}
+                secondary=None, mode=FragmentMode.NORMAL, episode=0)}
             self.transitions.append((self.sim.now, "dirty-done", fragment_id, 1))
             yield from self._commit(new_id, updates)
         finally:
             self._lock.release()
+            self._trace_close(span)
 
     def _handle_dirty_lost(self, fragment_id: int) -> SimGenerator:
         """The dirty list was evicted (or found partial): terminate
         transient mode and discard the primary replica (Section 3.1)."""
+        span = self._trace_transition("dirty-lost", fragment_id=fragment_id)
+        queued = self.sim.now
         yield self._lock.acquire()
+        if span is not None:
+            span.attrs["lock_wait"] = self.sim.now - queued
         try:
             fragment = self._fragments.get(fragment_id)
             if fragment is None or fragment.mode is not FragmentMode.TRANSIENT:
@@ -509,15 +550,20 @@ class Coordinator(RemoteNode):
             # when its instance returns and the fragment is handed back.
             updates = {fragment_id: fragment.replace(
                 primary=fragment.secondary, secondary=None,
-                mode=FragmentMode.NORMAL, cfg_id=new_id)}
+                mode=FragmentMode.NORMAL, cfg_id=new_id, episode=0)}
             self.fragments_discarded += 1
             self.transitions.append((self.sim.now, "dirty-lost", fragment_id, 1))
             yield from self._commit(new_id, updates)
         finally:
             self._lock.release()
+            self._trace_close(span)
 
     def _handle_wst_done(self, address: str) -> SimGenerator:
+        span = self._trace_transition("wst-done", address=address)
+        queued = self.sim.now
         yield self._lock.acquire()
+        if span is not None:
+            span.attrs["lock_wait"] = self.sim.now - queued
         try:
             new_id = self._config_id + 1
             updates = {}
@@ -528,7 +574,7 @@ class Coordinator(RemoteNode):
                 if fid in self._dirty_done:
                     updates[fid] = fragment.replace(
                         secondary=None, mode=FragmentMode.NORMAL,
-                        wst_active=False)
+                        wst_active=False, episode=0)
                 else:
                     updates[fid] = fragment.replace(wst_active=False)
             if not updates:
@@ -538,6 +584,7 @@ class Coordinator(RemoteNode):
             yield from self._commit(new_id, updates)
         finally:
             self._lock.release()
+            self._trace_close(span)
 
     def _round_robin_assigner(self, exclude: Set[str]):
         """Yield surviving instances round-robin (Section 4's distribution
@@ -554,6 +601,15 @@ class Coordinator(RemoteNode):
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
+    def _trace_commit(self, new_id: int, n_updates: int) -> None:
+        """Instant commit span, emitted at the same simulated instant as
+        the ``config_commit`` protocol event — the timeline reconstructor
+        cross-checks the two streams (id, time) pair by pair."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("config-commit", kind="commit",
+                           config_id=new_id, updates=n_updates)
+
     def _commit(self, new_id: int, updates: Dict[int, FragmentInfo]):
         """Mutate the authoritative table, then push the configuration."""
         self._config_id = new_id
@@ -561,6 +617,7 @@ class Coordinator(RemoteNode):
             self._fragments[fid] = info
         self.current = self.current.evolve(new_id, updates)
         self._emit("config_commit", config=self.current)
+        self._trace_commit(new_id, len(updates))
         yield from self._push_configuration()
 
     def _push_configuration(self) -> SimGenerator:
@@ -642,6 +699,11 @@ class Coordinator(RemoteNode):
             h = max(0.0, captured - self.policy.wst_epsilon)
         m = min(1.0, 1.0 - h + self.policy.wst_epsilon)
         started = self.sim.now
+        # Fresh baseline per monitor: a previous outage of this primary
+        # left its final totals here, and differencing against those
+        # would poison this episode's miss-ratio window (negative or
+        # zero deltas that suppress the m-threshold decision).
+        self._last_wst_counts[address] = {"hits": 0, "misses": 0}
         while True:
             yield self.monitor_interval
             if self.sim.now - started > self.wst_max_duration:
@@ -659,7 +721,14 @@ class Coordinator(RemoteNode):
                 self.notify_wst_done(address)
                 return
             if self._wst_feedback is not None:
-                counts = self._wst_feedback(address)
+                episodes = sorted({
+                    f.episode for f in self._fragments.values()
+                    if f.primary == address and f.wst_active})
+                counts = {"hits": 0, "misses": 0}
+                for episode in episodes:
+                    got = self._wst_feedback(address, episode)
+                    counts["hits"] += got["hits"]
+                    counts["misses"] += got["misses"]
                 last = self._last_wst_counts.get(address, {"hits": 0, "misses": 0})
                 hits = counts["hits"] - last["hits"]
                 misses = counts["misses"] - last["misses"]

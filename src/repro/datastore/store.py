@@ -94,6 +94,10 @@ class DataStore(RemoteNode):
 
     def _read(self, key: str) -> Value:
         self.reads += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.annotate(store_op="read",
+                            version=self._versions.get(key, 0))
         return Value(version=self._versions.get(key, 0),
                      size=self.record_size(key))
 
@@ -101,6 +105,9 @@ class DataStore(RemoteNode):
         self.writes += 1
         version = self._versions.get(key, 0) + 1
         self._versions[key] = version
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.annotate(store_op="write", version=version)
         if size is not None:
             self._sizes[key] = size
         now = self.sim.now

@@ -162,10 +162,13 @@ class GeminiCluster:
                 self.instance_addresses)
 
     # ------------------------------------------------------------------
-    def _wst_feedback(self, address: str) -> Dict[str, int]:
+    def _wst_feedback(self, address: str, episode: int) -> Dict[str, int]:
+        """Secondary-lookup counts for one (primary, outage-episode)
+        pair; counts from earlier outages of `address` live under other
+        episode keys and never reach the monitor."""
         total = {"hits": 0, "misses": 0}
         for client in self.clients:
-            counts = client.wst.counts(address)
+            counts = client.wst.counts(address, episode)
             total["hits"] += counts["hits"]
             total["misses"] += counts["misses"]
         return total

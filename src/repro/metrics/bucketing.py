@@ -1,0 +1,30 @@
+"""Shared floor-based time bucketing.
+
+Every bucketed metric (:class:`~repro.metrics.series.TimeSeries`,
+:class:`~repro.metrics.series.WindowedCounter`,
+:class:`~repro.metrics.latency.LatencyReservoir`) keys observations by
+``bucket_index(when, width)``. The helper uses ``math.floor`` rather
+than ``int()`` truncation: truncation rounds toward zero, so a value
+just below zero (e.g. a latency stamped at ``-0.3`` by a clock-offset
+experiment) would land in bucket 0 alongside ``[0, width)`` instead of
+bucket -1, and series that mix signs bin inconsistently. Floor division
+keeps every bucket a half-open interval ``[index * width,
+(index + 1) * width)`` regardless of sign.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bucket_index", "bucket_start"]
+
+
+def bucket_index(when: float, width: float) -> int:
+    """Index of the half-open bucket ``[index*width, (index+1)*width)``
+    containing ``when``."""
+    return math.floor(when / width)
+
+
+def bucket_start(index: int, width: float) -> float:
+    """Inclusive start time of bucket ``index``."""
+    return index * width

@@ -12,6 +12,7 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.metrics.bucketing import bucket_index
 from repro.sim.rng import fallback_stream
 
 __all__ = ["percentile", "LatencyReservoir"]
@@ -53,7 +54,7 @@ class LatencyReservoir:
         self._exact_count = 0
 
     def add(self, when: float, latency: float) -> None:
-        bucket = int(when / self.bucket_width)
+        bucket = bucket_index(when, self.bucket_width)
         reservoir = self._buckets.get(bucket)
         if reservoir is None:
             reservoir = self._buckets[bucket] = _Reservoir()
@@ -72,7 +73,7 @@ class LatencyReservoir:
             reservoir.samples[slot] = latency
 
     def percentile_at(self, when: float, q: float) -> Optional[float]:
-        reservoir = self._buckets.get(int(when / self.bucket_width))
+        reservoir = self._buckets.get(bucket_index(when, self.bucket_width))
         if reservoir is None or not reservoir.samples:
             return None
         return percentile(reservoir.samples, q)

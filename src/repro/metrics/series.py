@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.metrics.bucketing import bucket_index, bucket_start
+
 __all__ = ["TimeSeries", "WindowedCounter"]
 
 
@@ -24,12 +26,12 @@ class TimeSeries:
         self._sum: Dict[int, float] = {}
 
     def add(self, when: float, value: float = 1.0) -> None:
-        bucket = int(when / self.bucket_width)
+        bucket = bucket_index(when, self.bucket_width)
         self._count[bucket] = self._count.get(bucket, 0) + 1
         self._sum[bucket] = self._sum.get(bucket, 0.0) + value
 
     def count_at(self, when: float) -> int:
-        return self._count.get(int(when / self.bucket_width), 0)
+        return self._count.get(bucket_index(when, self.bucket_width), 0)
 
     def counts(self) -> List[Tuple[float, int]]:
         """(bucket start time, observation count) sorted by time."""
@@ -74,15 +76,21 @@ class WindowedCounter:
         self.bucket_width = bucket_width
         self._num: Dict[int, int] = {}
         self._den: Dict[int, int] = {}
+        #: Latest observation time per bucket: lets first_time_reaching
+        #: tell whether a bucket saw any traffic after a mid-bucket
+        #: measurement start.
+        self._last: Dict[int, float] = {}
 
     def observe(self, when: float, success: bool) -> None:
-        bucket = int(when / self.bucket_width)
+        bucket = bucket_index(when, self.bucket_width)
         self._den[bucket] = self._den.get(bucket, 0) + 1
+        if when >= self._last.get(bucket, when):
+            self._last[bucket] = when
         if success:
             self._num[bucket] = self._num.get(bucket, 0) + 1
 
     def ratio_at(self, when: float) -> Optional[float]:
-        bucket = int(when / self.bucket_width)
+        bucket = bucket_index(when, self.bucket_width)
         den = self._den.get(bucket, 0)
         if den == 0:
             return None
@@ -103,9 +111,33 @@ class WindowedCounter:
 
     def first_time_reaching(self, threshold: float,
                             after: float = 0.0) -> Optional[float]:
-        """Earliest bucket at/after `after` whose ratio >= threshold —
-        the 'time to restore hit ratio' measurement of Figures 8–9."""
-        for when, ratio in self.ratio_series():
-            if when >= after and ratio >= threshold:
-                return when
+        """Earliest time at/after ``after`` whose bucket reaches the
+        threshold — the 'time to restore hit ratio' measurement of
+        Figures 8–9.
+
+        Every bucket from the one *containing* ``after`` (a mid-bucket
+        ``after`` is honored; the returned time is clamped up to
+        ``after``) through the last observed bucket is examined in
+        order. A bucket only counts as evidence if it observed traffic
+        at/after ``after``: zero-traffic gap buckets are *not restored*
+        (no lookups means no evidence the ratio recovered, so a gap can
+        never be reported as the restoration point), and the bucket
+        containing ``after`` qualifies only if some of its traffic
+        actually arrived at/after ``after`` — not on the strength of
+        pre-``after`` observations alone.
+        """
+        if not self._den:
+            return None
+        first = bucket_index(after, self.bucket_width)
+        last = max(self._den)
+        for bucket in range(first, last + 1):
+            den = self._den.get(bucket, 0)
+            if den == 0:
+                # Gap bucket: no traffic, no evidence of restoration.
+                continue
+            if self._last.get(bucket, after) < after:
+                # Only pre-`after` traffic in the containing bucket.
+                continue
+            if self._num.get(bucket, 0) / den >= threshold:
+                return max(after, bucket_start(bucket, self.bucket_width))
         return None

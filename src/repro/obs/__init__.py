@@ -1,0 +1,16 @@
+"""GeminiTrace: causal tracing, timeline reconstruction, profiling.
+
+* :mod:`repro.obs.trace` — the passive :class:`Tracer` (kernel hooks,
+  spans, deterministic ids);
+* :mod:`repro.obs.wellformed` — structural trace invariants (also run
+  by the chaos engine as ``trace:*`` violations);
+* :mod:`repro.obs.timeline` — per-fragment phase timelines and
+  per-request critical paths, cross-checked against protocol events;
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing`` dumps;
+* :mod:`repro.obs.profile` — kernel perf-counter reports;
+* ``python -m repro.obs`` — the report CLI (:mod:`repro.obs.report`).
+"""
+
+from repro.obs.trace import Span, TraceContext, Tracer, active
+
+__all__ = ["Span", "TraceContext", "Tracer", "active"]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.obs``."""
+
+import sys
+
+from repro.obs.report import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""Trace exporters: JSONL span dumps and Chrome ``chrome://tracing`` JSON.
+
+Both formats are deterministic byte-for-byte given the same spans: keys
+are sorted, ids come from the tracer's counters, and simulated seconds
+convert to integer microseconds (Chrome's native unit) by rounding.
+Load the Chrome file at ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List
+
+from repro.obs.trace import Span
+
+__all__ = ["write_spans_jsonl", "chrome_trace_events",
+           "write_chrome_trace"]
+
+
+def write_spans_jsonl(spans: Iterable[Span], fp: IO[str]) -> int:
+    """One JSON object per line, in ring-buffer (oldest-first) order."""
+    count = 0
+    for span in spans:
+        fp.write(json.dumps(span.to_dict(), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def _micros(seconds: float) -> int:
+    return int(round(seconds * 1e6))
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event 'complete' (``"ph": "X"``) records.
+
+    The actor label becomes the thread name (``tid``), so per-actor
+    swimlanes come for free; trace/span ids ride in ``args``.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.end is None:
+            continue
+        tid = tids.setdefault(span.actor, len(tids) + 1)
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key in sorted(span.attrs):
+            args[key] = span.attrs[key]
+        events.append({
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": _micros(span.start),
+            "dur": _micros(span.duration),
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    # Thread-name metadata gives the viewer readable swimlane labels.
+    for actor, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": actor},
+        })
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], fp: IO[str]) -> int:
+    events = chrome_trace_events(spans)
+    json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fp,
+              sort_keys=True)
+    fp.write("\n")
+    return len(events)

@@ -1,0 +1,80 @@
+"""Kernel profiling report: counters, per-link traffic, busy time.
+
+Collects the always-on :class:`repro.sim.core.KernelCounters`, the
+network's per-link message counts, and the kernel's always-on host
+busy-time profile per process name (``Simulator.busy_profile``).
+Everything except ``busy_wall`` is deterministic; the busy profile
+measures *host* CPU time and is kept separate so deterministic
+artifacts never embed it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+
+__all__ = ["kernel_profile", "format_profile"]
+
+
+def kernel_profile(sim: Simulator, network: Optional[Network] = None,
+                   top_links: int = 10) -> Dict[str, Any]:
+    """A JSON-ready snapshot of the kernel's perf counters.
+
+    ``links`` holds the ``top_links`` busiest (source, destination)
+    pairs; ties break lexicographically so the output is deterministic.
+    """
+    profile: Dict[str, Any] = {
+        "sim_now": sim.now,
+        "kernel": sim.counters.to_dict(),
+    }
+    if network is not None:
+        profile["messages_sent"] = network.messages_sent
+        profile["messages_dropped"] = network.messages_dropped
+        busiest: List[Tuple[str, str, int]] = sorted(
+            ((src, dst, count)
+             for (src, dst), count in network.link_messages.items()),
+            key=lambda row: (-row[2], row[0], row[1]))[:top_links]
+        profile["links"] = [
+            {"source": src, "destination": dst, "messages": count}
+            for src, dst, count in busiest]
+    tracer = sim.tracer
+    if tracer is not None:
+        profile["spans_started"] = tracer.spans_started
+        profile["spans_closed"] = tracer.spans_closed
+        profile["spans_dropped"] = tracer.dropped
+    # Host wall-clock seconds per process name — NOT deterministic;
+    # callers embedding this profile in fingerprinted artifacts must
+    # drop it. Always present: the kernel accumulates it whether or not
+    # a tracer ran.
+    busy = sim.busy_profile()
+    profile["busy_wall"] = {name: busy[name] for name in sorted(busy)}
+    return profile
+
+
+def format_profile(profile: Dict[str, Any], busy_top: int = 10) -> str:
+    """Human-readable rendering of :func:`kernel_profile`."""
+    lines: List[str] = ["kernel profile",
+                        f"  simulated time     {profile['sim_now']:.3f}s"]
+    kernel = profile["kernel"]
+    lines.append(f"  kernel steps       {kernel['steps']}")
+    lines.append(f"  events created     {kernel['events_created']}")
+    lines.append(f"  processes created  {kernel['processes_created']}")
+    lines.append(f"  heap pushes        {kernel['heap_pushes']} "
+                 f"(high water {kernel['heap_high_water']})")
+    lines.append("  now-queue high water "
+                 f"{kernel['now_queue_high_water']}")
+    if "messages_sent" in profile:
+        lines.append(f"  messages sent      {profile['messages_sent']} "
+                     f"(dropped {profile['messages_dropped']})")
+    for link in profile.get("links", []):
+        lines.append(f"    {link['source']} -> {link['destination']}: "
+                     f"{link['messages']}")
+    if "busy_wall" in profile:
+        lines.append("  busiest actors (host wall-clock):")
+        busiest = sorted(profile["busy_wall"].items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:busy_top]
+        for label, seconds in busiest:
+            lines.append(f"    {label}: {seconds * 1e3:.2f} ms")
+    return "\n".join(lines)

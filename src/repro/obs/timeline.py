@@ -1,0 +1,193 @@
+"""Timeline reconstruction: spans + protocol events -> phase timelines.
+
+Folds the coordinator's ``config_commit`` protocol events
+(:mod:`repro.verify.events`) into per-fragment **phase timelines** — the
+``normal -> transient -> recovery -> normal`` lifecycle of Figure 4 with
+exact simulated-time boundaries — and folds the tracer's span forest into
+per-request **critical paths** (session -> attempts -> rpcs).
+
+The two input streams are produced independently (the event log by the
+protocol code, the commit spans by the tracer), which makes their
+agreement a meaningful check: :func:`crosscheck_commits` verifies the
+tracer's instant ``config-commit`` spans match the event stream pair by
+pair in both configuration id and simulated time. The ``python -m
+repro.obs`` CLI treats any disagreement as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config.configuration import Configuration
+from repro.obs.trace import Span
+from repro.verify.events import ProtocolEvent
+
+__all__ = ["Phase", "FragmentTimeline", "CriticalPath",
+           "build_fragment_timelines", "crosscheck_commits",
+           "build_critical_paths"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous interval of a fragment's lifecycle."""
+
+    start: float
+    end: float
+    mode: str
+    config_id: int
+    primary: str
+    secondary: Optional[str]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class FragmentTimeline:
+    """All phases of one fragment, in time order."""
+
+    fragment_id: int
+    phases: List[Phase] = field(default_factory=list)
+
+    def mode_at(self, when: float) -> Optional[str]:
+        for phase in self.phases:
+            if phase.start <= when < phase.end:
+                return phase.mode
+        if self.phases and when >= self.phases[-1].end:
+            return self.phases[-1].mode
+        return None
+
+    def boundaries(self) -> List[Tuple[float, str]]:
+        """(time, mode entered) for every phase change."""
+        out: List[Tuple[float, str]] = []
+        previous: Optional[str] = None
+        for phase in self.phases:
+            if phase.mode != previous:
+                out.append((phase.start, phase.mode))
+                previous = phase.mode
+        return out
+
+
+def build_fragment_timelines(
+        initial: Configuration,
+        events: Iterable[ProtocolEvent],
+        horizon: float) -> Dict[int, FragmentTimeline]:
+    """Fold ``config_commit`` events into per-fragment phase timelines.
+
+    ``initial`` is the configuration in force at t=0; every
+    ``config_commit`` event carries the full committed configuration, so
+    each fragment's phase changes exactly when a commit changes its row.
+    The final open phase is closed at ``horizon``.
+    """
+    current: Dict[int, Tuple[float, str, int, str, Optional[str]]] = {}
+    timelines: Dict[int, FragmentTimeline] = {}
+    for fragment in initial.fragments:
+        timelines[fragment.fragment_id] = FragmentTimeline(
+            fragment.fragment_id)
+        current[fragment.fragment_id] = (
+            0.0, fragment.mode.name, fragment.cfg_id, fragment.primary,
+            fragment.secondary)
+    for event in events:
+        if event.kind != "config_commit":
+            continue
+        config: Configuration = event.data["config"]
+        when = event.time
+        for fragment in config.fragments:
+            fid = fragment.fragment_id
+            row = (fragment.mode.name, fragment.cfg_id, fragment.primary,
+                   fragment.secondary)
+            open_phase = current.get(fid)
+            if open_phase is None:
+                current[fid] = (when, *row)
+                timelines.setdefault(fid, FragmentTimeline(fid))
+                continue
+            if open_phase[1:] == row:
+                continue  # this commit did not touch the fragment
+            start, mode, cfg_id, primary, secondary = open_phase
+            timelines[fid].phases.append(
+                Phase(start, when, mode, cfg_id, primary, secondary))
+            current[fid] = (when, *row)
+    for fid, open_phase in current.items():
+        start, mode, cfg_id, primary, secondary = open_phase
+        timelines[fid].phases.append(
+            Phase(start, max(horizon, start), mode, cfg_id, primary,
+                  secondary))
+    return timelines
+
+
+def crosscheck_commits(
+        spans: Iterable[Span],
+        events: Iterable[ProtocolEvent]) -> List[str]:
+    """Compare the tracer's commit spans against config_commit events.
+
+    Returns human-readable mismatch descriptions; empty means the two
+    independently produced streams agree exactly (same configuration
+    ids at the same simulated times, in the same order).
+    """
+    span_stream = [(s.attrs.get("config_id"), s.start) for s in spans
+                   if s.kind == "commit"]
+    event_stream = [(e.data["config"].config_id, e.time) for e in events
+                    if e.kind == "config_commit"]
+    problems: List[str] = []
+    if len(span_stream) != len(event_stream):
+        problems.append(
+            f"commit count mismatch: {len(span_stream)} commit spans vs "
+            f"{len(event_stream)} config_commit events")
+    for index, (from_span, from_event) in enumerate(
+            zip(span_stream, event_stream)):
+        if from_span != from_event:
+            problems.append(
+                f"commit #{index}: span says (cfg={from_span[0]}, "
+                f"t={from_span[1]:.9f}) but event says "
+                f"(cfg={from_event[0]}, t={from_event[1]:.9f})")
+    return problems
+
+
+@dataclass
+class CriticalPath:
+    """One client session and the tree of work done on its behalf."""
+
+    session: Span
+    steps: List[Span] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        # The tracer records first attempts lazily (a clean session has
+        # no attempt children), but the session span's closing attrs
+        # always carry the true count.
+        counted = sum(1 for s in self.steps if s.kind == "attempt")
+        return max(counted, int(self.session.attrs.get("attempts", 0)))
+
+    @property
+    def rpc_time(self) -> float:
+        return sum(s.duration for s in self.steps if s.kind == "rpc")
+
+    @property
+    def retry_statuses(self) -> List[str]:
+        return [s.status or "?" for s in self.steps
+                if s.kind == "attempt" and s.status != "ok"]
+
+
+def build_critical_paths(spans: Iterable[Span]) -> List[CriticalPath]:
+    """Group attempt/rpc spans under their session roots, in time order."""
+    spans = list(spans)
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    paths: List[CriticalPath] = []
+    for span in spans:
+        if span.kind != "session":
+            continue
+        path = CriticalPath(session=span)
+        frontier = list(children.get(span.span_id, []))
+        while frontier:
+            node = frontier.pop()
+            path.steps.append(node)
+            frontier.extend(children.get(node.span_id, []))
+        path.steps.sort(key=lambda s: (s.start, s.span_id))
+        paths.append(path)
+    paths.sort(key=lambda p: (p.session.start, p.session.span_id))
+    return paths

@@ -1,0 +1,625 @@
+"""GeminiTrace: a passive, deterministic causal tracer for the kernel.
+
+The sanitizer (:mod:`repro.sim.sanitizer`) answers *"did an illegal
+interleaving happen?"*; the tracer answers *"what actually happened, in
+causal order, and how long did each step take?"*. A :class:`Tracer`
+installs into the same optional hook points the sanitizer uses
+(``Simulator.tracer``; the hooks are no-ops while it stays ``None``) and
+records :class:`Span` records — actor-attributed intervals of simulated
+time with a parent/child causal structure:
+
+* **session spans** — one per client read/write session, with per-attempt
+  child spans classifying every retry (lease back-off, stale
+  configuration, unreachable replica, fragment unavailable);
+* **rpc spans** — one per :meth:`repro.sim.network.Network.call`, opened
+  at send time and closed when the response (or its failure) settles,
+  threaded through the network's callback state machine rather than
+  registered as an event callback (see *Passivity* below);
+* **transition spans** — coordinator fragment-lifecycle transitions, plus
+  an instant ``config-commit`` span per committed configuration that the
+  timeline reconstructor (:mod:`repro.obs.timeline`) cross-checks against
+  the ``config_commit`` protocol events;
+* **recovery spans** — one per worker repair pass, with the batch
+  sub-processes adopted as children.
+
+Causality: a span's parent is the innermost open span of whatever actor
+is executing. Work that crosses processes inherits context at creation —
+:meth:`Tracer.on_process_created` captures the creator's current span as
+the child process's base context, and :meth:`Tracer.adopt` re-parents
+generator RPC handlers under their rpc span.
+
+**Passivity.** Like the sanitizer, the tracer never schedules kernel
+work, never creates events, and never registers event callbacks. The
+last point is load-bearing: ``Event.add_callback`` flips the event's
+``_san_observed`` flag when a sanitizer is installed, so a tracer that
+observed RPC completion through a callback would silently suppress the
+sanitizer's ``crashed-process`` findings — a traced+sanitized run would
+stop fingerprinting identically to a sanitized one. RPC spans are
+instead threaded by value through ``Network._settle``. All span ids,
+trace ids, and actor labels come from deterministic counters (never
+``id()``-derived, never random), so a traced run's artifacts are
+byte-stable across machines and the simulated event order — and
+therefore the chaos fingerprint — is identical with tracing on or off.
+
+The tracer reads no wall clock at all: the host-CPU busy profile lives
+in the kernel's always-on counters (``Simulator.busy_profile``), so every
+tracer artifact is deterministic end to end. Actor attribution comes
+from ``Simulator.current_process`` (maintained by the kernel for its
+busy counter anyway), which is also why tracing needs no per-step hook.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import deque
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Deque, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # no runtime import: the kernel imports us for hooks
+    from repro.sim.core import Process, Simulator
+
+__all__ = ["TraceContext", "Span", "Tracer", "active", "KERNEL_ACTOR"]
+
+#: "No cached process" marker for the one-entry context cache (None is a
+#: legitimate cacheable value: kernel-callback context).
+_UNSET = object()
+
+#: Actor label for code running outside any tracked process (kernel
+#: callbacks, harness code) — mirrors the sanitizer's convention.
+KERNEL_ACTOR = "<kernel>"
+
+#: Default ring-buffer capacity (closed spans retained).
+DEFAULT_CAPACITY = 200_000
+
+#: Control-plane span kinds stored outside the ring: they are rare
+#: (transitions, commits, repair passes) but load-bearing for timeline
+#: reconstruction, so data-plane churn must not evict them.
+PINNED_KINDS = frozenset({"commit", "transition", "recovery"})
+
+#: Safety bound on the pinned store (a long chaos run's repair passes).
+PINNED_CAPACITY = 50_000
+
+_ACTIVE: Optional["Tracer"] = None
+
+
+def active() -> Optional["Tracer"]:
+    """The installed tracer, or ``None`` (the hot-path hook check)."""
+    return _ACTIVE
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal context carried across process boundaries.
+
+    ``trace_id`` groups every span caused by one root (e.g. one client
+    session); ``span_id`` is the parent span; ``actor`` is the label of
+    the actor that propagated the context.
+    """
+
+    trace_id: int
+    span_id: int
+    actor: str
+
+
+class Span:
+    """One actor-attributed interval of simulated time.
+
+    ``status`` is ``None`` while open; closed spans carry ``"ok"``,
+    ``"error"``, a retry classification (``"lease-backoff"``,
+    ``"stale-config"``, ``"unreachable"``, ``"unavailable"``), or one of
+    the tracer's teardown statuses: ``"crashed"`` (owning process died
+    mid-span and the span was orphan-closed at crash time) or
+    ``"unfinished"`` (still open when the run ended — normal for
+    in-flight work cut off at a time horizon).
+    """
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "kind",
+                 "actor", "start", "end", "status", "attrs")
+
+    def __init__(self, span_id: int, trace_id: int,
+                 parent_id: Optional[int], name: str, kind: str,
+                 actor: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.actor = actor
+        self.start = start
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        self.attrs: Dict[str, Any] = {} if attrs is None else attrs
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable record (deterministic field order)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    def __repr__(self) -> str:
+        end = "open" if self.end is None else f"{self.end:.6f}"
+        return (f"<Span {self.kind}:{self.name} actor={self.actor} "
+                f"[{self.start:.6f}, {end}] status={self.status}>")
+
+
+class _ProcCtx:
+    """Per-process tracing context: label, open-span stack, base parent."""
+
+    __slots__ = ("label", "stack", "base")
+
+    def __init__(self, label: str,
+                 base: Optional[TraceContext] = None) -> None:
+        self.label = label
+        self.stack: List[Span] = []
+        self.base = base
+
+
+class _ServingCtx(_ProcCtx):
+    """Pooled context for :meth:`Tracer.serve_push`.
+
+    It *is* a context (subclasses :class:`_ProcCtx`) so it sits directly
+    on the tracer's context stack, and :meth:`Tracer.serve_pop` recycles
+    it through the tracer's free list: one serving context is needed per
+    delivered network message, and a fresh allocation (or a
+    ``@contextmanager`` frame) per message is measurable at that volume.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        _ProcCtx.__init__(self, KERNEL_ACTOR)
+
+
+class Tracer:
+    """Opt-in passive causal tracer for one :class:`Simulator`.
+
+    Usage mirrors the sanitizer::
+
+        tracer = Tracer(sim)
+        tracer.install()
+        try:
+            ...  # run the workload
+            spans = tracer.finish()
+        finally:
+            tracer.uninstall()
+
+    Closed spans land in a bounded ring buffer (``capacity`` newest are
+    kept; ``dropped`` counts the overflow). Only one tracer can be
+    installed at a time (module-global hook).
+    """
+
+    def __init__(self, sim: "Simulator",
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._pinned: List[Span] = []
+        self.dropped = 0
+        self._open: Dict[int, Span] = {}
+        self._finished = False
+        # -- deterministic id allocation --------------------------------
+        self._span_seq = 0
+        self._trace_seq = 0
+        self._proc_seq = 0
+        # -- actor attribution ------------------------------------------
+        self._kernel_ctx = _ProcCtx(KERNEL_ACTOR)
+        self._ctx_stack: List[_ProcCtx] = []
+        self._proc_ctxs: Dict[int, _ProcCtx] = {}
+        self._serving_pool: List["_ServingCtx"] = []
+        self._gc_threshold: Optional[Tuple[int, int, int]] = None
+        # one-entry (process -> ctx) cache: span calls cluster within a
+        # single process step, so this hits nearly always.
+        self._last_proc: Any = _UNSET
+        self._last_ctx: _ProcCtx = self._kernel_ctx
+        # -- counters ----------------------------------------------------
+        self.spans_started = 0
+        self.spans_closed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> None:
+        global _ACTIVE
+        if _ACTIVE is not None and _ACTIVE is not self:
+            raise RuntimeError("another Tracer is already installed")
+        _ACTIVE = self
+        self.sim.tracer = self
+        # Span volume makes the collector's default gen-0 cadence the
+        # dominant *variance* in traced runs (tens of young-gen passes
+        # per trial, each re-scanning the long-lived ring). Widening the
+        # thresholds while installed is a host-side knob only: it cannot
+        # affect simulated behaviour, and uninstall() restores it.
+        self._gc_threshold = gc.get_threshold()
+        gc.set_threshold(100_000, 50, 50)
+
+    def uninstall(self) -> None:
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+        if self.sim.tracer is self:
+            self.sim.tracer = None
+        if self._gc_threshold is not None:
+            gc.set_threshold(*self._gc_threshold)
+            self._gc_threshold = None
+
+    def finish(self) -> List[Span]:
+        """Close every still-open span as ``unfinished``; return spans.
+
+        In-flight work is normal when a run stops at a time horizon;
+        the well-formedness checker treats ``unfinished`` (and
+        ``crashed``) spans as properly accounted for, unlike a span that
+        simply never closed.
+        """
+        if not self._finished:
+            self._finished = True
+            # Open spans live in two places: un-settled rpc spans in
+            # ``_open``, everything else on its owner's context stack.
+            leftovers = list(self._open.values())
+            leftovers.extend(
+                span for ctx in self._proc_ctxs.values()
+                for span in ctx.stack)
+            leftovers.extend(self._kernel_ctx.stack)
+            for span in sorted(leftovers, key=lambda s: s.span_id):
+                if span.status is not None:
+                    continue
+                span.end = self.sim.now
+                span.status = "unfinished"
+                self._to_ring(span)
+                self.spans_closed += 1
+            self._open.clear()
+            self._kernel_ctx.stack.clear()
+            for ctx in self._proc_ctxs.values():
+                ctx.stack.clear()
+        return self.spans()
+
+    def spans(self) -> List[Span]:
+        """Closed spans in deterministic (creation id) order."""
+        return sorted(list(self._ring) + self._pinned,
+                      key=lambda s: s.span_id)
+
+    # -- actor attribution ----------------------------------------------
+
+    def _resolve_ctx(self, proc: Any) -> _ProcCtx:
+        """Cache-miss path of the (process -> ctx) lookup."""
+        if proc is None:
+            ctx = self._kernel_ctx
+        else:
+            found = self._proc_ctxs.get(id(proc))
+            ctx = found if found is not None else self._ctx_for(proc)
+        self._last_proc = proc
+        self._last_ctx = ctx
+        return ctx
+
+    def _current_ctx(self) -> _ProcCtx:
+        stack = self._ctx_stack
+        if stack:
+            return stack[-1]
+        proc = self.sim.current_process
+        if proc is self._last_proc:
+            return self._last_ctx
+        return self._resolve_ctx(proc)
+
+    @property
+    def current_actor(self) -> str:
+        return self._current_ctx().label
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._current_ctx().stack
+        return stack[-1] if stack else None
+
+    def _ctx_for(self, process: "Process") -> _ProcCtx:
+        ctx = self._proc_ctxs.get(id(process))
+        if ctx is None:
+            # deterministic sequential numbering (sanitizer discipline):
+            # labels are byte-stable across runs and machines.
+            self._proc_seq += 1
+            name = getattr(process, "name", "") or "process"
+            ctx = _ProcCtx(f"{name}#{self._proc_seq}")
+            self._proc_ctxs[id(process)] = ctx
+        return ctx
+
+    # -- span API --------------------------------------------------------
+
+    def _new_span(self, name: str, kind: str,
+                  attrs: Dict[str, Any]) -> Span:
+        ctx = self._current_ctx()
+        stack = ctx.stack
+        if stack:
+            parent = stack[-1]
+            trace_id: int = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            base = ctx.base
+            if base is not None:
+                trace_id, parent_id = base.trace_id, base.span_id
+            else:
+                self._trace_seq += 1
+                trace_id, parent_id = self._trace_seq, None
+        self._span_seq += 1
+        self.spans_started += 1
+        return Span(self._span_seq, trace_id, parent_id, name, kind,
+                    ctx.label, self.sim.now, attrs)
+
+    def begin(self, name: str, kind: str = "span", **attrs: Any) -> Span:
+        """Open a span as a child of the current context; push it.
+
+        Open stack spans are *not* registered anywhere central: the
+        owning context stack is the single source of truth (finish()
+        and the teardown hooks sweep those), which keeps this hot path
+        to one allocation and one append.
+        """
+        # _new_span's body is inlined: this runs ~2x per client session
+        # and the extra frame is measurable against the passivity budget.
+        stack_ctxs = self._ctx_stack
+        if stack_ctxs:
+            ctx = stack_ctxs[-1]
+        else:
+            proc = self.sim.current_process
+            ctx = (self._last_ctx if proc is self._last_proc
+                   else self._resolve_ctx(proc))
+        stack = ctx.stack
+        if stack:
+            parent = stack[-1]
+            trace_id: int = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            base = ctx.base
+            if base is not None:
+                trace_id, parent_id = base.trace_id, base.span_id
+            else:
+                self._trace_seq += 1
+                trace_id, parent_id = self._trace_seq, None
+        self._span_seq += 1
+        self.spans_started += 1
+        span = Span(self._span_seq, trace_id, parent_id, name, kind,
+                    ctx.label, self.sim.now, attrs)
+        stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span], status: str = "ok",
+            **attrs: Any) -> None:
+        """Close a span. ``None`` is accepted so call sites can stay
+        unconditional (``tracer.end(maybe_span)``)."""
+        if span is None or span.status is not None:
+            return
+        span.end = self.sim.now
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        stack_ctxs = self._ctx_stack
+        if stack_ctxs:
+            ctx = stack_ctxs[-1]
+        else:
+            proc = self.sim.current_process
+            ctx = (self._last_ctx if proc is self._last_proc
+                   else self._resolve_ctx(proc))
+        stack = ctx.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        # ring append, inlined (hot: one call per closed span)
+        if span.kind in PINNED_KINDS \
+                and len(self._pinned) < PINNED_CAPACITY:
+            self._pinned.append(span)
+        else:
+            ring = self._ring
+            if len(ring) == self.capacity:
+                self.dropped += 1
+            ring.append(span)
+        self.spans_closed += 1
+
+    def instant(self, name: str, kind: str = "instant",
+                **attrs: Any) -> Span:
+        """A zero-duration span (e.g. a configuration commit)."""
+        span = self._new_span(name, kind, attrs)
+        span.end = span.start
+        span.status = "ok"
+        self._to_ring(span)
+        self.spans_started -= 1  # not counted as open/close churn
+        return span
+
+    def closed(self, name: str, kind: str, start: float, status: str,
+               **attrs: Any) -> Span:
+        """Retroactively record an already-finished span over
+        ``[start, now]``.
+
+        For lazy call sites (client first attempts): the common clean
+        case pays nothing, and the interesting case is reconstructed
+        the moment it proves interesting. The span parents under the
+        current context like any other, but never sits on a stack.
+        """
+        span = self._new_span(name, kind, attrs)
+        span.start = start
+        span.end = self.sim.now
+        span.status = status
+        self._to_ring(span)
+        self.spans_closed += 1
+        return span
+
+    def annotate(self, **attrs: Any) -> None:
+        """Merge attributes into the innermost open span, if any."""
+        # Hot path (cache hit/miss per request): inlined context lookup.
+        stack_ctxs = self._ctx_stack
+        if stack_ctxs:
+            stack = stack_ctxs[-1].stack
+        else:
+            proc = self.sim.current_process
+            ctx = (self._last_ctx if proc is self._last_proc
+                   else self._resolve_ctx(proc))
+            stack = ctx.stack
+        if stack:
+            stack[-1].attrs.update(attrs)
+
+    def _to_ring(self, span: Span) -> None:
+        if span.kind in PINNED_KINDS \
+                and len(self._pinned) < PINNED_CAPACITY:
+            self._pinned.append(span)
+            return
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(span)
+
+    # -- rpc threading ---------------------------------------------------
+
+    def begin_rpc(self, address: str, request: Any,
+                  source: Optional[str]) -> Span:
+        """Open an rpc span at send time (caller context).
+
+        The span is *not* pushed on any context stack: it closes from
+        :meth:`repro.sim.network.Network._settle`, which runs as a kernel
+        callback long after the caller yielded.
+        """
+        op = getattr(request, "op", None) or type(request).__name__
+        attrs: Dict[str, Any] = {"address": address}
+        if source is not None:
+            attrs["source"] = source
+        cfg = getattr(request, "client_cfg_id", None)
+        if cfg is not None:
+            attrs["client_cfg_id"] = cfg
+        # Inlined _new_span (hot: once per network call). The send runs
+        # inside the caller's step, so the one-entry context cache
+        # almost always hits here.
+        stack_ctxs = self._ctx_stack
+        if stack_ctxs:
+            ctx = stack_ctxs[-1]
+        else:
+            proc = self.sim.current_process
+            ctx = (self._last_ctx if proc is self._last_proc
+                   else self._resolve_ctx(proc))
+        stack = ctx.stack
+        if stack:
+            parent = stack[-1]
+            trace_id: int = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            base = ctx.base
+            if base is not None:
+                trace_id, parent_id = base.trace_id, base.span_id
+            else:
+                self._trace_seq += 1
+                trace_id, parent_id = self._trace_seq, None
+        self._span_seq += 1
+        self.spans_started += 1
+        span = Span(self._span_seq, trace_id, parent_id, f"rpc:{op}",
+                    "rpc", ctx.label, self.sim.now, attrs)
+        self._open[span.span_id] = span
+        return span
+
+    def end_rpc(self, span: Optional[Span],
+                exc: Optional[BaseException]) -> None:
+        if span is None or span.status is not None:
+            return
+        # Inlined close: rpc spans never sit on a context stack, so the
+        # generic end() — which resolves the current context to unwind
+        # its stack — would do a wasted (and, from the settle callback,
+        # usually cache-missing) lookup per completed call. "rpc" is
+        # never a pinned kind, so this goes straight to the ring.
+        span.end = self.sim.now
+        if exc is None:
+            span.status = "ok"
+        else:
+            span.status = "error"
+            span.attrs["error"] = type(exc).__name__
+        self._open.pop(span.span_id, None)
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append(span)
+        self.spans_closed += 1
+
+    def serve_push(self, span: Optional[Span],
+                   source: Optional[str]) -> "_ServingCtx":
+        """Attribute synchronous handler work to its rpc span.
+
+        Handlers run in kernel-callback context inside
+        ``Network._serve``; this pushes a context whose innermost span is
+        the rpc span so handler-side :meth:`annotate`/:meth:`instant`
+        calls attach under it (the tracer's analogue of the sanitizer's
+        ``acting_as``). The caller must balance with :meth:`serve_pop`
+        in a ``finally``; an explicit push/pop pair is one call cheaper
+        per delivered message than a context manager.
+        """
+        pool = self._serving_pool
+        ctx = pool.pop() if pool else _ServingCtx()
+        ctx.label = source if source else KERNEL_ACTOR
+        if span is not None:
+            ctx.stack.append(span)
+        self._ctx_stack.append(ctx)
+        return ctx
+
+    def serve_pop(self, ctx: "_ServingCtx") -> None:
+        self._ctx_stack.pop()
+        ctx.stack.clear()
+        self._serving_pool.append(ctx)
+
+    def adopt(self, process: "Process", span: Optional[Span]) -> None:
+        """Re-parent a process under ``span`` (generator RPC handlers)."""
+        if span is None:
+            return
+        ctx = self._ctx_for(process)
+        ctx.base = TraceContext(span.trace_id, span.span_id, ctx.label)
+
+    # -- kernel hooks ----------------------------------------------------
+
+    def on_process_created(self, process: "Process") -> None:
+        """Capture the creator's current span as the child's context."""
+        ctx = self._ctx_for(process)
+        parent = self.current_span()
+        if parent is not None:
+            ctx.base = TraceContext(parent.trace_id, parent.span_id,
+                                    self.current_actor)
+        elif self._current_ctx().base is not None:
+            ctx.base = self._current_ctx().base
+
+    def on_process_crash(self, process: "Process",
+                         exception: BaseException) -> None:
+        """Orphan-close the crashed process's open spans (never leak)."""
+        ctx = self._proc_ctxs.get(id(process))
+        if ctx is None:
+            return
+        while ctx.stack:
+            span = ctx.stack.pop()
+            if span.status is not None:
+                continue
+            span.end = self.sim.now
+            span.status = "crashed"
+            span.attrs.setdefault("error", type(exception).__name__)
+            self._to_ring(span)
+            self.spans_closed += 1
+
+    def on_process_end(self, process: "Process") -> None:
+        """Normal completion: close forgotten spans, release the context.
+
+        Releasing the context entry matters beyond memory: ``id()`` of a
+        collected process can be reused, and a stale entry would hand the
+        new process a dead label and parent.
+        """
+        if process is self._last_proc:
+            self._last_proc = _UNSET
+            self._last_ctx = self._kernel_ctx
+        ctx = self._proc_ctxs.pop(id(process), None)
+        if ctx is None:
+            return
+        while ctx.stack:
+            span = ctx.stack.pop()
+            if span.status is not None:
+                continue
+            span.end = self.sim.now
+            span.status = "orphaned"
+            self._to_ring(span)
+            self.spans_closed += 1

@@ -1,0 +1,109 @@
+"""Trace well-formedness: structural invariants over a finished trace.
+
+The chaos engine runs these as a protocol invariant (``trace:*``
+violations): a trace that survives a nemesis schedule must still be a
+forest of properly nested, sim-time-monotone spans. The rules are chosen
+to hold on *every* legal run — including runs where processes crash
+mid-span (the tracer orphan-closes those as ``crashed``) and runs cut
+off at a time horizon (``unfinished``) — so any report is a tracer bug
+or genuine span leak, not noise.
+
+Checked per span:
+
+* **closed** — ``end``/``status`` set. :meth:`Tracer.finish` closes
+  leftovers as ``unfinished``; a ``None`` here means finish() was never
+  called or the record was corrupted.
+* **monotone** — ``end >= start`` in simulated time.
+* **parented** — ``parent_id`` resolves within the trace (unless the
+  ring buffer dropped spans, which legitimately severs edges).
+* **nested** — a child cannot start before its parent.
+* **config-consistent** — an rpc span stamped ``client_cfg_id`` must
+  agree with the enclosing attempt span's ``config_id``: sessions stamp
+  the id their routing decision was based on, so a disagreement means
+  the tracer attached the rpc to the wrong attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.obs.trace import Span
+
+__all__ = ["TraceProblem", "check_trace"]
+
+
+@dataclass(frozen=True)
+class TraceProblem:
+    """One well-formedness failure."""
+
+    kind: str
+    span_id: int
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: span {self.span_id}: {self.detail}"
+
+
+def check_trace(spans: Iterable[Span], dropped: int = 0,
+                max_problems: int = 100) -> List[TraceProblem]:
+    """Return every structural violation (bounded by ``max_problems``).
+
+    ``dropped`` is the tracer's ring-overflow count: when nonzero,
+    missing-parent edges are expected and not reported.
+    """
+    problems: List[TraceProblem] = []
+    by_id: Dict[int, Span] = {}
+
+    def report(kind: str, span_id: int, detail: str) -> bool:
+        problems.append(TraceProblem(kind, span_id, detail))
+        return len(problems) >= max_problems
+
+    spans = list(spans)
+    for span in spans:
+        if span.span_id in by_id:
+            if report("duplicate-id", span.span_id,
+                      "span id appears more than once"):
+                return problems
+        by_id[span.span_id] = span
+
+    for span in spans:
+        if span.end is None or span.status is None:
+            if report("unclosed", span.span_id,
+                      f"{span.kind}:{span.name} has no end/status "
+                      "(finish() not called?)"):
+                return problems
+            continue
+        if span.end < span.start:
+            if report("negative-duration", span.span_id,
+                      f"{span.kind}:{span.name} ends at {span.end} "
+                      f"before its start {span.start}"):
+                return problems
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                if dropped == 0:
+                    if report("missing-parent", span.span_id,
+                              f"parent {span.parent_id} not in trace "
+                              "and no spans were dropped"):
+                        return problems
+            elif span.start < parent.start:
+                if report("child-before-parent", span.span_id,
+                          f"starts at {span.start} before parent "
+                          f"{parent.span_id} at {parent.start}"):
+                    return problems
+    # Cross-stream config consistency: rpc vs enclosing attempt.
+    for span in spans:
+        if span.kind != "rpc" or "client_cfg_id" not in span.attrs:
+            continue
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is None or parent.kind != "attempt":
+            continue
+        attempt_cfg = parent.attrs.get("config_id")
+        if attempt_cfg is not None \
+                and span.attrs["client_cfg_id"] != attempt_cfg:
+            if report("config-mismatch", span.span_id,
+                      f"rpc stamped cfg {span.attrs['client_cfg_id']} "
+                      f"inside attempt routed under cfg {attempt_cfg}"):
+                return problems
+    return problems

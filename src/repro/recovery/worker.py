@@ -142,22 +142,54 @@ class RecoveryWorker:
         cfg = self.config.config_id
         red_token = None
         self._pass_degraded = False
-        if secondary is not None:
-            try:
-                red_token = yield self.network.call(
-                    secondary, self._cfg(cfg, op="red_acquire",
-                                         fragment_id=fragment_id))
-            except LeaseBackoff:
-                return  # another worker owns this fragment
-            except StaleConfiguration:
-                return  # the configuration moved mid-scan; retry next pass
-            except _UNREACHABLE:
-                secondary = None  # truly gone: repair from the fallback copy
-        processed_all = yield from self._repair_fragment(
-            fragment_id, secondary, cfg)
-        if processed_all is None:
-            # Stale-config abort: release the Redlease and retry later.
+        tracer = self.sim.tracer
+        span = (tracer.begin("repair-pass", kind="recovery", worker=self.name,
+                             fragment_id=fragment_id, config_id=cfg)
+                if tracer is not None else None)
+        try:
+            if secondary is not None:
+                try:
+                    red_token = yield self.network.call(
+                        secondary, self._cfg(cfg, op="red_acquire",
+                                             fragment_id=fragment_id))
+                except LeaseBackoff:
+                    # another worker owns this fragment
+                    if tracer is not None:
+                        tracer.end(span, status="lease-backoff")
+                    return
+                except StaleConfiguration:
+                    # the configuration moved mid-scan; retry next pass
+                    if tracer is not None:
+                        tracer.end(span, status="stale-config")
+                    return
+                except _UNREACHABLE:
+                    # truly gone: repair from the fallback copy
+                    secondary = None
+                    if span is not None:
+                        span.attrs["degraded"] = True
+            processed_all = yield from self._repair_fragment(
+                fragment_id, secondary, cfg)
+            if processed_all is None:
+                # Stale-config abort: release the Redlease and retry later.
+                if secondary is not None and red_token is not None:
+                    try:
+                        yield self.network.call(
+                            secondary, self._cfg(cfg, op="red_release",
+                                                 fragment_id=fragment_id,
+                                                 token=red_token))
+                    except (StaleConfiguration, *_UNREACHABLE):
+                        pass
+                if tracer is not None:
+                    tracer.end(span, status="aborted")
+                return
             if secondary is not None and red_token is not None:
+                if processed_all:
+                    try:
+                        yield self.network.call(
+                            secondary, self._cfg(cfg, op="delete_dirty",
+                                                 fragment_id=fragment_id))
+                    except (StaleConfiguration, *_UNREACHABLE):
+                        pass
                 try:
                     yield self.network.call(
                         secondary, self._cfg(cfg, op="red_release",
@@ -165,30 +197,22 @@ class RecoveryWorker:
                                              token=red_token))
                 except (StaleConfiguration, *_UNREACHABLE):
                     pass
-            return
-        if secondary is not None and red_token is not None:
             if processed_all:
+                self.fragments_recovered += 1
                 try:
                     yield self.network.call(
-                        secondary, self._cfg(cfg, op="delete_dirty",
-                                             fragment_id=fragment_id))
-                except (StaleConfiguration, *_UNREACHABLE):
+                        self.coordinator_address,
+                        CoordinatorOp(op="dirty_done",
+                                      fragment_id=fragment_id))
+                except _UNREACHABLE:
                     pass
-            try:
-                yield self.network.call(
-                    secondary, self._cfg(cfg, op="red_release",
-                                         fragment_id=fragment_id,
-                                         token=red_token))
-            except (StaleConfiguration, *_UNREACHABLE):
-                pass
-        if processed_all:
-            self.fragments_recovered += 1
-            try:
-                yield self.network.call(
-                    self.coordinator_address,
-                    CoordinatorOp(op="dirty_done", fragment_id=fragment_id))
-            except _UNREACHABLE:
-                pass
+            if tracer is not None:
+                tracer.end(span, processed_all=bool(processed_all))
+        finally:
+            # Idempotent backstop: an unexpected exception must not leave
+            # the pass span on this worker process's context stack.
+            if tracer is not None:
+                tracer.end(span, status="error")
 
     # ------------------------------------------------------------------
     # Dirty-list fetching

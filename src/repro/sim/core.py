@@ -18,18 +18,31 @@ ties in the heap), so a fixed seed yields a bit-identical run.
 from __future__ import annotations
 
 import heapq
+import weakref
 from collections import deque
-from typing import (TYPE_CHECKING, Any, Callable, Deque, Generator, Iterable,
-                    List, Optional, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, Generator,
+                    Iterable, List, Optional, Tuple)
+
+# geminilint: disable=GEM001 -- host busy-time counter only (see _perf below)
+import time
 
 from repro.errors import Interrupt, SimulationError
 
 if TYPE_CHECKING:  # runtime import would be a cycle; hooks are optional
+    from repro.obs.trace import Tracer
     from repro.sim.sanitizer import SimSanitizer
 
-__all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
+__all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf",
+           "KernelCounters"]
 
 _PENDING = object()
+
+#: Host-CPU clock for the always-on per-process busy counter. This is the
+#: only wall-clock read in the kernel; it feeds `Simulator.busy_profile`
+#: (the repro.obs profiling report) and never influences simulated
+#: behaviour — simulated time comes exclusively from the event heap.
+# geminilint: disable=GEM001 -- host busy profile only; never in sim state
+_perf = time.perf_counter
 
 #: Simulation actors are plain generators; what they yield/receive is
 #: heterogeneous by design (floats, Events, Processes), hence Any.
@@ -37,6 +50,32 @@ SimGenerator = Generator[Any, Any, Any]
 
 #: A scheduled kernel callback with its pre-bound arguments.
 _Callback = Callable[..., None]
+
+
+class KernelCounters:
+    """Always-on kernel profiling counters (O(1) per touch).
+
+    These are plain monotone integers kept regardless of whether a
+    tracer is installed: they cost one add/compare per scheduling
+    decision and feed the :mod:`repro.obs.profile` report and benchmark
+    result JSON. ``heap_high_water`` / ``now_queue_high_water`` expose
+    the kernel's peak backlog, the usual first clue when a scenario's
+    wall-clock time blows up.
+    """
+
+    __slots__ = ("steps", "events_created", "processes_created",
+                 "heap_pushes", "heap_high_water", "now_queue_high_water")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.events_created = 0
+        self.processes_created = 0
+        self.heap_pushes = 0
+        self.heap_high_water = 0
+        self.now_queue_high_water = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class Event:
@@ -52,6 +91,7 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Event"], None]] = []
+        sim.counters.events_created += 1
         if sim.sanitizer is not None:
             sim.sanitizer.on_event_created(self)
 
@@ -223,8 +263,15 @@ class Process(Event):
         self._interrupt_cause: Any = _PENDING
         #: Invalidates in-flight sleep timers after an interrupt.
         self._wait_epoch = 0
+        #: Host-CPU seconds spent stepping this process (busy counter);
+        #: folded into ``sim.busy_wall`` by name when the process ends.
+        self.busy_time = 0.0
+        sim.counters.processes_created += 1
+        sim._live_processes.add(self)
         if sim.sanitizer is not None:
             sim.sanitizer.on_process_created(self)
+        if sim.tracer is not None:
+            sim.tracer.on_process_created(self)
         sim.schedule(0.0, self._resume, None, None)
 
     def interrupt(self, cause: Any = None) -> None:
@@ -272,10 +319,16 @@ class Process(Event):
     def _step(self, payload: Any, is_exception: bool) -> None:
         # Each _step is one inter-yield segment: the sanitizer (when
         # installed) attributes every footprint recorded inside it to
-        # this process and treats the segment as an atomic section.
-        sanitizer = self.sim.sanitizer
+        # this process and treats the segment as an atomic section. The
+        # tracer needs no per-step hook: it reads ``sim.current_process``
+        # (maintained here) when a span is opened or closed.
+        sim = self.sim
+        sanitizer = sim.sanitizer
         if sanitizer is not None:
             sanitizer.enter_process(self)
+        previous = sim.current_process
+        sim.current_process = self
+        started = _perf()
         try:
             try:
                 if is_exception:
@@ -283,15 +336,26 @@ class Process(Event):
                 else:
                     target = self._generator.send(payload)
             except StopIteration as stop:
+                if sim.tracer is not None:
+                    sim.tracer.on_process_end(self)
+                sim._retire_process(self)
                 self.succeed(stop.value)
                 return
             except BaseException as exc:  # noqa: BLE001 - propagate to waiters
                 if sanitizer is not None:
                     sanitizer.on_process_crash(self, exc)
+                if sim.tracer is not None:
+                    # Orphan-close the crashed process's open spans, then
+                    # release its context — a crash must never leak spans.
+                    sim.tracer.on_process_crash(self, exc)
+                    sim.tracer.on_process_end(self)
+                sim._retire_process(self)
                 self.fail(exc)
                 return
             self._wait_on(target)
         finally:
+            self.busy_time += _perf() - started
+            sim.current_process = previous
             if sanitizer is not None:
                 sanitizer.exit_process(self)
 
@@ -335,18 +399,59 @@ class Simulator:
         #: Optional interleaving sanitizer (repro.sim.sanitizer); hooks
         #: throughout the kernel are no-ops while this stays None.
         self.sanitizer: Optional["SimSanitizer"] = None
+        #: Optional causal tracer (repro.obs.trace); same contract as the
+        #: sanitizer hook — passive, no-op while None.
+        self.tracer: Optional["Tracer"] = None
+        #: Always-on profiling counters (cheap; see KernelCounters).
+        self.counters = KernelCounters()
+        #: The process currently being stepped, or None in kernel
+        #: callbacks / harness code. Maintained by Process._step; read by
+        #: the tracer for actor attribution.
+        self.current_process: Optional[Process] = None
+        #: Host-CPU busy seconds per process name, folded in when each
+        #: process ends (see busy_profile for still-live processes).
+        self.busy_wall: Dict[str, float] = {}
+        self._live_processes: "weakref.WeakSet[Process]" = weakref.WeakSet()
+
+    def _retire_process(self, process: Process) -> None:
+        """Fold a finished process's busy counter into the profile."""
+        busy = process.busy_time
+        if busy:
+            name = process.name
+            self.busy_wall[name] = self.busy_wall.get(name, 0.0) + busy
+            process.busy_time = 0.0
+        self._live_processes.discard(process)
+
+    def busy_profile(self) -> Dict[str, float]:
+        """Host-CPU busy seconds per process name, including live ones.
+
+        Host wall-clock, NOT deterministic: callers embedding it in
+        fingerprinted artifacts must drop it (see repro.obs.profile).
+        """
+        out = dict(self.busy_wall)
+        for process in self._live_processes:
+            if process.busy_time:
+                out[process.name] = (out.get(process.name, 0.0)
+                                     + process.busy_time)
+        return out
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, delay: float, callback: _Callback,
                  *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        counters = self.counters
         if delay == 0:
             self._now_queue.append((callback, args))
+            if len(self._now_queue) > counters.now_queue_high_water:
+                counters.now_queue_high_water = len(self._now_queue)
             return
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
+        counters.heap_pushes += 1
+        if len(self._heap) > counters.heap_high_water:
+            counters.heap_high_water = len(self._heap)
 
     def schedule_at(self, when: float, callback: _Callback,
                     *args: Any) -> None:
@@ -378,11 +483,13 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next scheduled callback. Returns False when idle."""
         if self._now_queue:
+            self.counters.steps += 1
             callback, args = self._now_queue.popleft()
             callback(*args)
             return True
         if not self._heap:
             return False
+        self.counters.steps += 1
         when, __, callback, args = heapq.heappop(self._heap)
         self.now = when
         callback(*args)

@@ -29,10 +29,14 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Deque, Dict, Generator, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Deque, Dict, Generator, Optional,
+                    Set, Tuple)
 
 from repro.errors import HostUnreachable, RequestTimeout, SimulationError
 from repro.sim.core import Event, Simulator
+
+if TYPE_CHECKING:  # tracing types only; the hooks stay optional at runtime
+    from repro.obs.trace import Span
 
 __all__ = ["LatencyModel", "ServiceStation", "RemoteNode", "Network",
            "NetworkHandle"]
@@ -174,6 +178,9 @@ class Network:
         )
         self._nodes: Dict[str, RemoteNode] = {}
         self.messages_sent = 0
+        #: Always-on per-link traffic counter keyed (source, destination);
+        #: anonymous callers count under "<anon>". Feeds repro.obs.profile.
+        self.link_messages: Dict[Tuple[str, str], int] = {}
         #: Link-fault rules: ``(src, dst)`` patterns, ``"*"`` wildcards.
         self._link_drop: Set[Tuple[str, str]] = set()
         self._link_delay: Dict[Tuple[str, str], float] = {}
@@ -253,19 +260,33 @@ class Network:
         Implemented as a callback state machine (not a process) because
         RPCs dominate the kernel's event traffic. ``source`` names the
         caller for link-fault matching (see :meth:`bound`).
+
+        When a tracer is installed, an rpc span opens here and is threaded
+        *by value* through the state machine to :meth:`_settle` (every
+        path — drop, dead host, drained station, handler reply — ends
+        there). Observing completion via ``done.add_callback`` instead
+        would flip the event's sanitizer-observed flag and suppress
+        crashed-process findings, breaking trace passivity.
         """
         done = self.sim.event()
         self.messages_sent += 1
+        link = (source if source is not None else "<anon>", address)
+        self.link_messages[link] = self.link_messages.get(link, 0) + 1
+        tracer = self.sim.tracer
+        span = (tracer.begin_rpc(address, request, source)
+                if tracer is not None else None)
         if self.link_dropped(source, address):
             # The request never reaches the destination; the caller waits
             # out the RPC timeout exactly as against a dead host.
             self.messages_dropped += 1
+            if span is not None:
+                span.attrs["dropped"] = True
             self.sim.schedule(self.unreachable_delay, self._settle,
-                              done, None, HostUnreachable(address))
+                              done, None, HostUnreachable(address), span)
         else:
             self.sim.schedule(
                 self.latency.sample() + self.link_delay(source, address),
-                self._arrive, address, request, done, source)
+                self._arrive, address, request, done, source, span)
         if timeout is None:
             return done
         return self.sim.process(self._with_timeout(done, timeout),
@@ -280,55 +301,81 @@ class Network:
         return value
 
     def _arrive(self, address: str, request: Any, done: Event,
-                source: Optional[str] = None) -> None:
+                source: Optional[str] = None,
+                span: Optional["Span"] = None) -> None:
         node = self._nodes.get(address)
         if node is None or not node.up:
             # The caller's RPC times out against a dead host.
             self.sim.schedule(self.unreachable_delay, self._settle,
-                              done, None, HostUnreachable(address))
+                              done, None, HostUnreachable(address), span)
             return
         served = node.station.submit(node.service_time(request))
         served.add_callback(
-            lambda event: self._serve(node, request, done, event, source))
+            lambda event: self._serve(node, request, done, event, source,
+                                      span))
 
     def _serve(self, node: RemoteNode, request: Any, done: Event,
-               served: Event, source: Optional[str] = None) -> None:
+               served: Event, source: Optional[str] = None,
+               span: Optional["Span"] = None) -> None:
         if not served.ok or not node.up:
             # The node died while our request was queued or in service.
             self.sim.schedule(self.unreachable_delay, self._settle,
-                              done, None, HostUnreachable(node.address))
+                              done, None, HostUnreachable(node.address), span)
             return
         try:
             sanitizer = self.sim.sanitizer
-            if sanitizer is not None:
+            tracer = self.sim.tracer
+            if sanitizer is not None and tracer is not None:
+                with sanitizer.acting_as(source):
+                    ctx = tracer.serve_push(span, source)
+                    try:
+                        result = node.handle_request(request)
+                    finally:
+                        tracer.serve_pop(ctx)
+            elif sanitizer is not None:
                 # Synchronous handlers run in kernel-callback context;
                 # attribute their shared-state footprints to the RPC's
                 # source session rather than to "<kernel>".
                 with sanitizer.acting_as(source):
                     result = node.handle_request(request)
+            elif tracer is not None:
+                # Same attribution for the tracer: handler-side annotate
+                # calls land on the rpc span, not on "<kernel>".
+                ctx = tracer.serve_push(span, source)
+                try:
+                    result = node.handle_request(request)
+                finally:
+                    tracer.serve_pop(ctx)
             else:
                 result = node.handle_request(request)
         except BaseException as exc:  # noqa: BLE001 - app errors travel back
-            self._reply(node.address, source, done, None, exc)
+            self._reply(node.address, source, done, None, exc, span)
             return
         if hasattr(result, "send"):
             # Generator handler: it consumes further simulated time.
             handler = self.sim.process(result, name=f"handler:{node.address}")
+            if self.sim.tracer is not None:
+                # Re-parent the handler under its rpc span so the work it
+                # spawns traces back to the request that caused it.
+                self.sim.tracer.adopt(handler, span)
             handler.add_callback(
                 lambda event: self._settle_from_handler(
-                    node.address, source, done, event))
+                    node.address, source, done, event, span))
             return
-        self._reply(node.address, source, done, result, None)
+        self._reply(node.address, source, done, result, None, span)
 
     def _settle_from_handler(self, node_address: str, source: Optional[str],
-                             done: Event, handler: Event) -> None:
+                             done: Event, handler: Event,
+                             span: Optional["Span"] = None) -> None:
         if handler.ok:
-            self._reply(node_address, source, done, handler.value, None)
+            self._reply(node_address, source, done, handler.value, None, span)
         else:
-            self._reply(node_address, source, done, None, handler._exception)
+            self._reply(node_address, source, done, None, handler._exception,
+                        span)
 
     def _reply(self, node_address: str, source: Optional[str], done: Event,
-               value: Any, exc: Optional[BaseException]) -> None:
+               value: Any, exc: Optional[BaseException],
+               span: Optional["Span"] = None) -> None:
         """Route a response back, honouring reverse-direction link faults.
 
         On an asymmetric partition the handler has already executed its
@@ -336,15 +383,21 @@ class Network:
         """
         if self.link_dropped(node_address, source):
             self.messages_dropped += 1
+            if span is not None:
+                span.attrs["reply_dropped"] = True
             self.sim.schedule(self.unreachable_delay, self._settle,
-                              done, None, HostUnreachable(node_address))
+                              done, None, HostUnreachable(node_address), span)
             return
         self.sim.schedule(
             self.latency.sample() + self.link_delay(node_address, source),
-            self._settle, done, value, exc)
+            self._settle, done, value, exc, span)
 
-    @staticmethod
-    def _settle(done: Event, value: Any, exc: Optional[BaseException]) -> None:
+    def _settle(self, done: Event, value: Any,
+                exc: Optional[BaseException],
+                span: Optional["Span"] = None) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and span is not None:
+            tracer.end_rpc(span, exc)
         if done.triggered:
             return
         if exc is not None:

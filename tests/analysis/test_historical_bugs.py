@@ -84,14 +84,16 @@ class TestPr2LivenessGuardRevert:
 #: The fix moved the capture inside the loop; hoisting it back out is
 #: the minimal revert.
 CAPTURE_FIXED = """\
-        for attempt in range(1, self.MAX_ATTEMPTS + 1):
-            fragment = self.cache.route(key)
-            cfg = self.cache.config_id
+            for attempt in range(1, self.MAX_ATTEMPTS + 1):
+                attempts = attempt
+                fragment = self.cache.route(key)
+                cfg = self.cache.config_id
 """
 CAPTURE_BUGGED = """\
-        fragment = self.cache.route(key)
-        cfg = self.cache.config_id
-        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            fragment = self.cache.route(key)
+            cfg = self.cache.config_id
+            for attempt in range(1, self.MAX_ATTEMPTS + 1):
+                attempts = attempt
 """
 
 #: PR 3's LeaseBackoff drop: ``_read_recovery`` once discarded the dirty

@@ -194,7 +194,11 @@ class TestRecoveryMode:
         value = run_session(cluster, client.read(key))
         assert value.version == 1
         assert cluster.datastore.reads == before  # came from the secondary
-        assert client.wst.counts(fragment.primary)["hits"] == 1
+        assert client.wst.totals(fragment.primary)["hits"] == 1
+        # ...and the count is namespaced under the outage's episode.
+        episode = client.cache.route(key).episode
+        assert episode > 0
+        assert client.wst.counts(fragment.primary, episode)["hits"] == 1
 
     def test_without_wst_miss_goes_to_store(self):
         cluster = build_cluster(GEMINI_O, num_workers=0)

@@ -35,9 +35,17 @@ class TestWiring:
         assert len(cluster.ensemble.shadows) == 1
 
     def test_wst_feedback_aggregates_clients(self, small_cluster):
-        small_cluster.clients[0].wst.observe("cache-0", True)
-        counts = small_cluster._wst_feedback("cache-0")
+        small_cluster.clients[0].wst.observe("cache-0", 7, True)
+        counts = small_cluster._wst_feedback("cache-0", 7)
         assert counts == {"hits": 1, "misses": 0}
+
+    def test_wst_feedback_is_episode_scoped(self, small_cluster):
+        # Counts from a previous outage episode of the same primary must
+        # be invisible to the current episode's feedback.
+        small_cluster.clients[0].wst.observe("cache-0", 7, False)
+        small_cluster.clients[0].wst.observe("cache-0", 7, False)
+        counts = small_cluster._wst_feedback("cache-0", 9)
+        assert counts == {"hits": 0, "misses": 0}
 
 
 class TestWarmCache:

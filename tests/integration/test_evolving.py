@@ -42,7 +42,7 @@ class TestEvolvingPattern:
         the recovering primary instead of being recomputed at the store."""
         cluster, __, experiment = build_evolving(GEMINI_I_W, 1.0)
         experiment.run()
-        wst_hits = sum(client.wst.counts("cache-0")["hits"]
+        wst_hits = sum(client.wst.totals("cache-0")["hits"]
                        for client in cluster.clients)
         assert wst_hits > 0
 

@@ -1,0 +1,73 @@
+"""Floor-based bucketing: the shared helper and its consumers.
+
+``int(when / width)`` truncates toward zero, so values just below zero
+used to share bucket 0 with ``[0, width)`` and negative offsets binned
+inconsistently with positive ones. These tests pin the floor semantics
+across every bucketed metric.
+"""
+
+import random
+
+from repro.metrics.bucketing import bucket_index, bucket_start
+from repro.metrics.latency import LatencyReservoir
+from repro.metrics.series import TimeSeries, WindowedCounter
+
+
+class TestHelper:
+    def test_positive_values(self):
+        assert bucket_index(0.0, 1.0) == 0
+        assert bucket_index(0.999, 1.0) == 0
+        assert bucket_index(1.0, 1.0) == 1
+
+    def test_negative_values_floor_not_truncate(self):
+        # int(-0.5 / 1.0) == 0 — the truncation bug this replaces.
+        assert bucket_index(-0.5, 1.0) == -1
+        assert bucket_index(-1.0, 1.0) == -1
+        assert bucket_index(-1.5, 1.0) == -2
+
+    def test_non_unit_width(self):
+        assert bucket_index(9.999, 5.0) == 1
+        assert bucket_index(10.0, 5.0) == 2
+        assert bucket_index(-0.001, 5.0) == -1
+
+    def test_bucket_start_round_trips(self):
+        for when in (-3.2, -0.5, 0.0, 0.4, 7.9):
+            index = bucket_index(when, 0.5)
+            assert bucket_start(index, 0.5) <= when < bucket_start(
+                index + 1, 0.5)
+
+
+class TestTimeSeriesFloorBucketing:
+    def test_negative_offset_bins_below_zero(self):
+        series = TimeSeries(bucket_width=1.0)
+        series.add(-0.5)
+        series.add(0.5)
+        assert series.counts() == [(-1.0, 1), (0.0, 1)]
+
+    def test_count_at_negative_time(self):
+        series = TimeSeries(bucket_width=1.0)
+        series.add(-0.5)
+        assert series.count_at(-0.1) == 1
+        assert series.count_at(0.1) == 0
+
+
+class TestWindowedCounterFloorBucketing:
+    def test_negative_offset_does_not_pollute_bucket_zero(self):
+        counter = WindowedCounter(bucket_width=1.0)
+        counter.observe(-0.5, False)
+        counter.observe(0.5, True)
+        assert counter.ratio_at(0.5) == 1.0
+        assert counter.ratio_at(-0.5) == 0.0
+        assert counter.ratio_series() == [(-1.0, 0.0), (0.0, 1.0)]
+
+
+class TestLatencyReservoirFloorBucketing:
+    def test_negative_offset_bins_below_zero(self):
+        reservoir = LatencyReservoir(bucket_width=1.0,
+                                     rng=random.Random(3))
+        reservoir.add(-0.5, 10.0)
+        reservoir.add(0.5, 20.0)
+        assert reservoir.percentile_at(-0.5, 50) == 10.0
+        assert reservoir.percentile_at(0.5, 50) == 20.0
+        assert reservoir.percentile_series(50) == [(-1.0, 10.0),
+                                                   (0.0, 20.0)]

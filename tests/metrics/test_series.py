@@ -88,3 +88,40 @@ class TestWindowedCounter:
         counter = WindowedCounter()
         counter.observe(0.0, False)
         assert counter.first_time_reaching(0.5) is None
+
+    def test_first_time_reaching_honors_mid_bucket_after(self):
+        # Load pauses during recovery: the instance recovers at t=5.5
+        # and the only post-recovery traffic in bucket 5 already reaches
+        # the threshold; then load pauses through buckets 6–9 and
+        # resumes at t=10. The bucket containing `after` must be
+        # eligible (clamped to `after`), not skipped until t=10 — the
+        # pre-fix `when >= after` filter compared bucket *starts* and
+        # reported the post-pause bucket instead.
+        counter = WindowedCounter(bucket_width=1.0)
+        counter.observe(5.6, True)
+        counter.observe(5.7, True)
+        counter.observe(10.2, True)
+        assert counter.first_time_reaching(0.9, after=5.5) == 5.5
+
+    def test_first_time_reaching_gap_is_not_restored(self):
+        # A zero-traffic gap right after `after` carries no evidence of
+        # restoration: the result must come from the first bucket that
+        # actually observed traffic, never from inside the gap.
+        counter = WindowedCounter(bucket_width=1.0)
+        counter.observe(1.0, False)
+        counter.observe(10.0, True)   # load resumes here
+        assert counter.first_time_reaching(0.9, after=2.0) == 10.0
+
+    def test_first_time_reaching_pause_then_never_restored(self):
+        counter = WindowedCounter(bucket_width=1.0)
+        counter.observe(1.0, True)    # before the failure
+        counter.observe(10.0, False)  # post-pause traffic, still cold
+        assert counter.first_time_reaching(0.9, after=2.0) is None
+
+    def test_first_time_reaching_after_beyond_last_bucket(self):
+        counter = WindowedCounter(bucket_width=1.0)
+        counter.observe(1.0, True)
+        assert counter.first_time_reaching(0.9, after=5.0) is None
+
+    def test_first_time_reaching_empty(self):
+        assert WindowedCounter().first_time_reaching(0.5) is None

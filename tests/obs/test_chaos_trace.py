@@ -1,0 +1,166 @@
+"""Chaos-engine integration of GeminiTrace: passivity + trace invariants."""
+
+import pytest
+
+from repro.chaos.cli import load_replay, main, save_replay
+from repro.chaos.nemesis import NemesisAction, TrialSpec
+from repro.chaos.runner import build_trial, run_trial
+from repro.obs.trace import Tracer, active
+from repro.obs.timeline import crosscheck_commits
+from repro.obs.wellformed import check_trace
+
+
+def small_spec(seed=0, actions=(), **overrides):
+    defaults = dict(seed=seed, num_shadows=0, records=60, threads=2,
+                    duration=8.0, actions=list(actions))
+    defaults.update(overrides)
+    return TrialSpec(**defaults)
+
+
+def crashy_spec(seed=0):
+    return small_spec(seed=seed, actions=[
+        NemesisAction("crash", 2.0, 1.5, "cache-0")])
+
+
+def traced_trial(spec):
+    """Run a trial like run_trial(trace=True) but keep the spans."""
+    cluster, experiment, registry, threads = build_trial(spec)
+    tracer = Tracer(cluster.sim)
+    tracer.install()
+    try:
+        experiment.run()
+        violations = list(registry.finish())
+        spans = tracer.finish()
+    finally:
+        tracer.uninstall()
+    return cluster, tracer, spans, violations
+
+
+class TestPassivity:
+    def test_traced_trial_fingerprints_identically(self):
+        spec = crashy_spec()
+        plain = run_trial(spec)
+        traced = run_trial(spec, trace=True)
+        assert plain.ok and traced.ok
+        assert traced.fingerprint() == plain.fingerprint()
+
+    def test_traced_sanitized_matches_sanitized(self):
+        # The load-bearing interaction: a tracer observing RPC completion
+        # through event callbacks would flip _san_observed and silently
+        # change what the sanitizer reports. Threading spans by value
+        # keeps the two riders independent.
+        spec = crashy_spec()
+        sanitized = run_trial(spec, sanitize=True)
+        both = run_trial(spec, sanitize=True, trace=True)
+        assert sanitized.ok and both.ok
+        assert both.fingerprint() == sanitized.fingerprint()
+
+    def test_tracer_uninstalled_after_trial(self):
+        run_trial(crashy_spec(), trace=True)
+        assert active() is None
+
+    def test_tracer_uninstalled_after_failing_trial(self):
+        result = run_trial(crashy_spec(), mutant="fresh-marker",
+                           trace=True)
+        assert not result.ok
+        assert active() is None
+
+
+class TestTraceInvariant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crashy_schedules_stay_wellformed(self, seed):
+        result = run_trial(crashy_spec(seed=seed), trace=True)
+        assert not any(v.invariant.startswith("trace:")
+                       for v in result.violations), \
+            [str(v) for v in result.violations]
+
+    def test_failover_schedule_stays_wellformed(self):
+        spec = small_spec(num_shadows=1, actions=[
+            NemesisAction("crash", 2.0, 1.5, "cache-0"),
+            NemesisAction("failover", 3.0, 0.0, "coordinator")])
+        result = run_trial(spec, trace=True)
+        assert not any(v.invariant.startswith("trace:")
+                       for v in result.violations), \
+            [str(v) for v in result.violations]
+
+    def test_mutant_protocol_violations_do_not_blame_the_trace(self):
+        # A deliberately broken protocol fails its *protocol* invariants;
+        # the trace itself must still be structurally sound.
+        result = run_trial(crashy_spec(), mutant="fresh-marker",
+                           trace=True)
+        assert not result.ok
+        assert not any(v.invariant.startswith("trace:")
+                       for v in result.violations)
+
+
+def repair_heavy_spec(seed=0):
+    """Enough writes during the outage to guarantee repair passes."""
+    return small_spec(seed=seed, update_fraction=0.5, actions=[
+        NemesisAction("crash", 2.0, 1.5, "cache-0")])
+
+
+class TestTraceContents:
+    def test_spans_cover_every_layer(self):
+        cluster, tracer, spans, violations = traced_trial(
+            repair_heavy_spec())
+        assert not violations
+        assert check_trace(spans, dropped=tracer.dropped) == []
+        kinds = {s.kind for s in spans}
+        # client sessions + attempts, network rpcs, coordinator
+        # transitions + commits, worker repair passes
+        assert {"session", "attempt", "rpc", "transition", "commit",
+                "recovery"} <= kinds
+
+    def test_commit_spans_match_protocol_events(self):
+        cluster, tracer, spans, _ = traced_trial(crashy_spec())
+        events = cluster.events.events
+        assert any(e.kind == "config_commit" for e in events)
+        assert crosscheck_commits(spans, events) == []
+
+    def test_attempts_classify_outage_retries(self):
+        cluster, tracer, spans, _ = traced_trial(crashy_spec())
+        statuses = {s.status for s in spans if s.kind == "attempt"}
+        assert "ok" in statuses
+        # the crash window must surface at least one classified retry
+        assert statuses & {"lease-backoff", "stale-config",
+                           "unavailable", "unreachable"}
+
+    def test_recovery_spans_carry_fragment_and_config(self):
+        cluster, tracer, spans, _ = traced_trial(repair_heavy_spec())
+        repairs = [s for s in spans if s.kind == "recovery"]
+        assert repairs
+        for span in repairs:
+            assert "fragment_id" in span.attrs
+            assert "config_id" in span.attrs
+            assert span.attrs["worker"].startswith("worker-")
+
+
+class TestReplayCarriesTrace:
+    def test_save_replay_records_the_mode(self, tmp_path):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="fresh-marker", trace=True)
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="fresh-marker",
+                    trace=True)
+        payload = load_replay(str(path))
+        assert payload["trace"] is True
+        assert payload["fingerprint"] == result.fingerprint()
+
+    def test_replay_reruns_under_tracer(self, tmp_path, capsys):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="fresh-marker", trace=True)
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="fresh-marker",
+                    trace=True)
+        # exit 1: the violation reproduces; fingerprint must match the
+        # traced run, proving --trace was re-applied from the payload.
+        assert main(["--replay", str(path)]) == 1
+        assert "fingerprint matches replay file" in capsys.readouterr().out
+
+    def test_old_replays_without_field_default_off(self, tmp_path):
+        spec = crashy_spec()
+        result = run_trial(spec, mutant="fresh-marker")
+        path = tmp_path / "repro.json"
+        save_replay(str(path), spec, result, mutant="fresh-marker")
+        payload = load_replay(str(path))
+        assert payload["trace"] is False

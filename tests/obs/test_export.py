@@ -1,0 +1,85 @@
+"""Unit tests for the JSONL and Chrome trace exporters."""
+
+import io
+import json
+
+from repro.obs.export import (chrome_trace_events, write_chrome_trace,
+                              write_spans_jsonl)
+from repro.obs.trace import Span
+
+
+def make_span(span_id, parent_id=None, start=0.0, end=1.0, status="ok",
+              name="work", kind="span", actor="client-0#1", **attrs):
+    span = Span(span_id, 1, parent_id, name, kind, actor, start,
+                attrs=dict(attrs))
+    span.end = end
+    span.status = status
+    return span
+
+
+class TestJsonl:
+    def test_one_object_per_line_round_trips(self):
+        spans = [make_span(1, key="k1"), make_span(2, parent_id=1)]
+        buffer = io.StringIO()
+        assert write_spans_jsonl(spans, buffer) == 2
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["span_id"] == 1
+        assert first["attrs"] == {"key": "k1"}
+        assert json.loads(lines[1])["parent_id"] == 1
+
+    def test_output_is_deterministic(self):
+        spans = [make_span(1, zebra=1, apple=2)]
+
+        def dump():
+            buffer = io.StringIO()
+            write_spans_jsonl(spans, buffer)
+            return buffer.getvalue()
+
+        assert dump() == dump()
+        # keys sorted inside each record
+        record = dump().splitlines()[0]
+        assert record.index('"apple"') < record.index('"zebra"')
+
+
+class TestChromeTrace:
+    def test_complete_events_in_integer_micros(self):
+        spans = [make_span(1, start=0.0015, end=0.0035)]
+        (event, meta) = chrome_trace_events(spans)
+        assert event["ph"] == "X"
+        assert event["ts"] == 1500
+        assert event["dur"] == 2000
+        assert isinstance(event["ts"], int)
+        assert event["args"]["span_id"] == 1
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "client-0#1"
+
+    def test_actors_get_stable_swimlane_tids(self):
+        spans = [make_span(1, actor="a#1"), make_span(2, actor="b#2"),
+                 make_span(3, actor="a#1")]
+        events = chrome_trace_events(spans)
+        lanes = {e["args"]["name"]: e["tid"]
+                 for e in events if e["ph"] == "M"}
+        assert lanes == {"a#1": 1, "b#2": 2}
+        by_span = {e["args"]["span_id"]: e["tid"]
+                   for e in events if e["ph"] == "X"}
+        assert by_span[1] == by_span[3] == 1
+        assert by_span[2] == 2
+
+    def test_open_spans_skipped(self):
+        open_span = Span(1, 1, None, "w", "span", "a#1", 0.0)
+        assert chrome_trace_events([open_span]) == []
+
+    def test_write_chrome_trace_is_valid_json(self):
+        buffer = io.StringIO()
+        count = write_chrome_trace([make_span(1)], buffer)
+        payload = json.loads(buffer.getvalue())
+        assert len(payload["traceEvents"]) == count == 2  # span + meta
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_parent_id_rides_in_args_when_present(self):
+        events = chrome_trace_events([make_span(2, parent_id=1)])
+        assert events[0]["args"]["parent_id"] == 1
+        events = chrome_trace_events([make_span(2)])
+        assert "parent_id" not in events[0]["args"]

@@ -1,0 +1,77 @@
+"""Unit tests for the kernel profiling report."""
+
+import random
+
+from repro.obs.profile import format_profile, kernel_profile
+from repro.obs.trace import Tracer
+from repro.sim.core import Simulator
+from repro.sim.network import LatencyModel, Network
+
+
+def run_small_sim(with_tracer=False):
+    sim = Simulator()
+    tracer = None
+    if with_tracer:
+        tracer = Tracer(sim)
+        tracer.install()
+
+    def actor():
+        yield 1.0
+        yield 1.0
+
+    sim.process(actor(), name="a")
+    sim.run()
+    if tracer is not None:
+        tracer.finish()
+        tracer.uninstall()
+        sim.tracer = tracer  # keep the profile's tracer section readable
+    return sim
+
+
+class TestKernelProfile:
+    def test_counters_snapshot(self):
+        sim = run_small_sim()
+        profile = kernel_profile(sim)
+        assert profile["sim_now"] == 2.0
+        kernel = profile["kernel"]
+        assert kernel["processes_created"] == 1
+        assert kernel["steps"] > 0
+        assert kernel["events_created"] > 0
+        assert kernel["heap_pushes"] > 0
+        # busy profiling is kernel-side and always on
+        assert "busy_wall" in profile
+        assert profile["busy_wall"].get("a", 0.0) >= 0.0
+        assert "spans_started" not in profile  # no tracer ran
+
+    def test_network_section_lists_busiest_links(self):
+        sim = Simulator()
+        network = Network(sim, LatencyModel(random.Random(1)))
+        network.link_messages[("client-0", "cache-0")] = 5
+        network.link_messages[("client-0", "cache-1")] = 9
+        network.link_messages[("worker-0", "db")] = 9
+        profile = kernel_profile(sim, network, top_links=2)
+        links = profile["links"]
+        assert len(links) == 2
+        # ties break lexicographically after count
+        assert links[0]["destination"] == "cache-1"
+        assert links[1]["source"] == "worker-0"
+
+    def test_tracer_section_present_when_traced(self):
+        sim = run_small_sim(with_tracer=True)
+        profile = kernel_profile(sim)
+        assert "spans_started" in profile
+        assert "busy_wall" in profile
+        assert sorted(profile["busy_wall"]) == list(profile["busy_wall"])
+
+    def test_format_profile_renders_every_section(self):
+        sim = run_small_sim(with_tracer=True)
+        text = format_profile(kernel_profile(sim))
+        assert "kernel profile" in text
+        assert "kernel steps" in text
+        assert "busiest actors" in text
+
+    def test_profile_is_json_ready(self):
+        import json
+
+        sim = run_small_sim()
+        json.dumps(kernel_profile(sim))  # must not raise

@@ -1,0 +1,29 @@
+"""Smoke test for the ``python -m repro.obs`` report CLI."""
+
+import json
+
+from repro.obs.report import main
+
+
+class TestReportCli:
+    def test_tiny_run_verifies_and_writes_artifacts(self, tmp_path,
+                                                    capsys):
+        out = tmp_path / "artifacts"
+        code = main(["--records", "150", "--fail-at", "2",
+                     "--outage", "2", "--tail", "3",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        # the two verification gates
+        assert "trace well-formed" in text
+        assert "config-commit spans match protocol events exactly" in text
+        # the three report sections
+        assert "fragments changed phase" in text
+        assert "slowest sessions" in text
+        assert "kernel profile" in text
+        # artifacts round-trip
+        lines = (out / "spans.jsonl").read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines[:5])
+        chrome = json.loads((out / "chrome_trace.json").read_text())
+        assert chrome["traceEvents"]
+        assert "trace well-formed" in (out / "timeline.txt").read_text()

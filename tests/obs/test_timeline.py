@@ -1,0 +1,133 @@
+"""Unit tests for timeline reconstruction and the commit cross-check."""
+
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.obs.timeline import (build_critical_paths,
+                                build_fragment_timelines,
+                                crosscheck_commits)
+from repro.obs.trace import Span
+from repro.types import FragmentMode
+from repro.verify.events import ProtocolEvent
+
+
+def fragment(fid, mode=FragmentMode.NORMAL, cfg_id=0,
+             primary="cache-0", secondary="cache-1"):
+    return FragmentInfo(fragment_id=fid, primary=primary,
+                        secondary=secondary, mode=mode, cfg_id=cfg_id)
+
+
+def commit_event(time, config):
+    return ProtocolEvent(time=time, kind="config_commit",
+                         data={"config": config})
+
+
+def commit_span(span_id, time, config_id):
+    span = Span(span_id, 1, None, "config-commit", "commit", "coord#1",
+                time, attrs={"config_id": config_id})
+    span.end = time
+    span.status = "ok"
+    return span
+
+
+class TestFragmentTimelines:
+    def test_no_commits_yields_one_phase_to_horizon(self):
+        initial = Configuration(0, [fragment(0), fragment(1)])
+        timelines = build_fragment_timelines(initial, [], horizon=10.0)
+        assert set(timelines) == {0, 1}
+        (phase,) = timelines[0].phases
+        assert (phase.start, phase.end) == (0.0, 10.0)
+        assert phase.mode == "NORMAL"
+        assert phase.config_id == 0
+
+    def test_outage_cycle_produces_figure4_phases(self):
+        initial = Configuration(0, [fragment(0)])
+        transient = Configuration(1, [fragment(
+            0, mode=FragmentMode.TRANSIENT, cfg_id=1)])
+        recovery = Configuration(2, [fragment(
+            0, mode=FragmentMode.RECOVERY, cfg_id=1)])
+        normal = Configuration(3, [fragment(0, cfg_id=1)])
+        events = [commit_event(2.0, transient),
+                  commit_event(5.0, recovery),
+                  commit_event(9.0, normal)]
+        timelines = build_fragment_timelines(initial, events, horizon=12.0)
+        timeline = timelines[0]
+        assert [(p.start, p.end, p.mode) for p in timeline.phases] == [
+            (0.0, 2.0, "NORMAL"),
+            (2.0, 5.0, "TRANSIENT"),
+            (5.0, 9.0, "RECOVERY"),
+            (9.0, 12.0, "NORMAL"),
+        ]
+        assert timeline.boundaries() == [
+            (0.0, "NORMAL"), (2.0, "TRANSIENT"), (5.0, "RECOVERY"),
+            (9.0, "NORMAL")]
+        assert timeline.mode_at(3.0) == "TRANSIENT"
+        assert timeline.mode_at(11.0) == "NORMAL"
+        assert timeline.mode_at(12.5) == "NORMAL"  # after last phase
+
+    def test_commit_not_touching_a_fragment_opens_no_phase(self):
+        initial = Configuration(0, [fragment(0), fragment(1)])
+        # only fragment 0 changes; fragment 1's row is identical
+        changed = Configuration(1, [
+            fragment(0, mode=FragmentMode.TRANSIENT, cfg_id=1),
+            fragment(1)])
+        timelines = build_fragment_timelines(
+            initial, [commit_event(3.0, changed)], horizon=8.0)
+        assert len(timelines[0].phases) == 2
+        assert len(timelines[1].phases) == 1
+
+
+class TestCrosscheck:
+    def test_matching_streams_agree(self):
+        config = Configuration(1, [fragment(0, cfg_id=1)])
+        spans = [commit_span(10, 2.5, 1)]
+        events = [commit_event(2.5, config)]
+        assert crosscheck_commits(spans, events) == []
+
+    def test_count_mismatch_reported(self):
+        config = Configuration(1, [fragment(0)])
+        problems = crosscheck_commits([], [commit_event(2.5, config)])
+        assert problems and "count mismatch" in problems[0]
+
+    def test_time_or_id_disagreement_reported(self):
+        config = Configuration(2, [fragment(0)])
+        spans = [commit_span(10, 2.5, 1)]
+        events = [commit_event(2.5, config)]
+        problems = crosscheck_commits(spans, events)
+        assert problems and "commit #0" in problems[0]
+
+    def test_non_commit_spans_and_events_ignored(self):
+        config = Configuration(1, [fragment(0)])
+        noise_span = Span(5, 1, None, "work", "rpc", "a#1", 1.0)
+        noise_span.end, noise_span.status = 1.5, "ok"
+        noise_event = ProtocolEvent(time=1.0, kind="lease_acquired",
+                                    data={})
+        assert crosscheck_commits(
+            [noise_span, commit_span(10, 2.5, 1)],
+            [noise_event, commit_event(2.5, config)]) == []
+
+
+class TestCriticalPaths:
+    def make(self, span_id, parent_id, kind, start, end, status="ok"):
+        span = Span(span_id, 1, parent_id, kind, kind, "c#1", start)
+        span.end = end
+        span.status = status
+        return span
+
+    def test_descendants_grouped_under_session(self):
+        spans = [
+            self.make(1, None, "session", 0.0, 4.0),
+            self.make(2, 1, "attempt", 0.0, 1.0, status="lease-backoff"),
+            self.make(3, 2, "rpc", 0.1, 0.9),
+            self.make(4, 1, "attempt", 1.0, 4.0),
+            self.make(5, 4, "rpc", 1.1, 3.9),
+            self.make(6, None, "session", 5.0, 6.0),
+        ]
+        paths = build_critical_paths(spans)
+        assert len(paths) == 2
+        first = paths[0]
+        assert first.session.span_id == 1
+        assert first.attempts == 2
+        assert first.retry_statuses == ["lease-backoff"]
+        assert abs(first.rpc_time - (0.8 + 2.8)) < 1e-9
+        # steps come back in time order
+        assert [s.span_id for s in first.steps] == [2, 3, 4, 5]
+        assert paths[1].session.span_id == 6

@@ -1,0 +1,351 @@
+"""Unit tests for the GeminiTrace tracer core."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.obs.trace import (KERNEL_ACTOR, Span, TraceContext, Tracer,
+                             active)
+
+
+@pytest.fixture
+def tsim():
+    """A simulator with its own installed tracer (owns the global hook)."""
+    prior = active()
+    if prior is not None:
+        prior.uninstall()
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.install()
+    try:
+        yield sim, tracer
+    finally:
+        tracer.uninstall()
+        if prior is not None:
+            prior.install()
+
+
+class TestInstallation:
+    def test_install_sets_global_and_sim_hook(self, tsim):
+        sim, tracer = tsim
+        assert active() is tracer
+        assert sim.tracer is tracer
+
+    def test_second_install_rejected(self, tsim):
+        other = Tracer(Simulator())
+        with pytest.raises(RuntimeError, match="already installed"):
+            other.install()
+
+    def test_uninstall_clears_hooks(self):
+        prior = active()
+        if prior is not None:
+            prior.uninstall()
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.install()
+        tracer.uninstall()
+        assert active() is None
+        assert sim.tracer is None
+        if prior is not None:
+            prior.install()
+
+
+class TestSpanLifecycle:
+    def test_begin_end_records_interval(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            span = tracer.begin("work", kind="session", key="k1")
+            yield 2.5
+            tracer.end(span, status="ok", hit=True)
+
+        sim.process(actor(), name="client")
+        sim.run()
+        spans = tracer.finish()
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "work"
+        assert span.kind == "session"
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration == 2.5
+        assert span.status == "ok"
+        assert span.attrs == {"key": "k1", "hit": True}
+        assert span.actor.startswith("client#")
+
+    def test_end_is_idempotent_and_accepts_none(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            span = tracer.begin("work")
+            yield 1.0
+            tracer.end(span, status="error")
+            tracer.end(span, status="ok")  # second close is a no-op
+            tracer.end(None)               # None is accepted
+
+        sim.process(actor(), name="a")
+        sim.run()
+        (span,) = tracer.finish()
+        assert span.status == "error"
+        assert span.end == 1.0
+
+    def test_nested_spans_parent_within_process(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            outer = tracer.begin("session", kind="session")
+            inner = tracer.begin("attempt", kind="attempt")
+            yield 1.0
+            tracer.end(inner)
+            tracer.end(outer)
+
+        sim.process(actor(), name="c")
+        sim.run()
+        spans = {s.name: s for s in tracer.finish()}
+        assert spans["attempt"].parent_id == spans["session"].span_id
+        assert spans["attempt"].trace_id == spans["session"].trace_id
+        assert spans["session"].parent_id is None
+
+    def test_annotate_lands_on_innermost_open_span(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            outer = tracer.begin("outer")
+            inner = tracer.begin("inner")
+            tracer.annotate(cache="hit")
+            yield 0.5
+            tracer.end(inner)
+            tracer.annotate(retries=2)
+            tracer.end(outer)
+
+        sim.process(actor(), name="c")
+        sim.run()
+        spans = {s.name: s for s in tracer.finish()}
+        assert spans["inner"].attrs == {"cache": "hit"}
+        assert spans["outer"].attrs == {"retries": 2}
+
+    def test_instant_span_is_zero_duration_ok(self, tsim):
+        sim, tracer = tsim
+        sim.schedule_at(3.0, lambda: tracer.instant(
+            "config-commit", kind="commit", config_id=7))
+        sim.run()
+        (span,) = tracer.finish()
+        assert span.start == span.end == 3.0
+        assert span.status == "ok"
+        assert span.attrs["config_id"] == 7
+
+    def test_finish_closes_open_spans_as_unfinished(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            tracer.begin("in-flight")
+            yield 100.0  # horizon cuts this off
+
+        sim.process(actor(), name="c")
+        sim.run(until=5.0)
+        (span,) = tracer.finish()
+        assert span.status == "unfinished"
+        assert span.end == 5.0
+
+
+class TestCrossProcessCausality:
+    def test_child_process_inherits_creator_span(self, tsim):
+        sim, tracer = tsim
+        seen = {}
+
+        def child():
+            span = tracer.begin("child-work")
+            yield 0.1
+            tracer.end(span)
+            seen["child"] = span
+
+        def parent():
+            span = tracer.begin("parent-work")
+            sim.process(child(), name="child")
+            yield 1.0
+            tracer.end(span)
+            seen["parent"] = span
+
+        sim.process(parent(), name="parent")
+        sim.run()
+        tracer.finish()
+        assert seen["child"].trace_id == seen["parent"].trace_id
+        assert seen["child"].parent_id == seen["parent"].span_id
+
+    def test_adopt_reparents_under_rpc_span(self, tsim):
+        sim, tracer = tsim
+        seen = {}
+
+        def handler():
+            span = tracer.begin("handler-work")
+            yield 0.1
+            tracer.end(span)
+            seen["handler"] = span
+
+        rpc = tracer.begin_rpc("cache-0", object(), "client-0")
+        process = sim.process(handler(), name="h")
+        tracer.adopt(process, rpc)
+        sim.run()
+        tracer.end_rpc(rpc, None)
+        tracer.finish()
+        assert seen["handler"].trace_id == rpc.trace_id
+        assert seen["handler"].parent_id == rpc.span_id
+
+
+class TestCrashTeardown:
+    def test_crash_orphan_closes_open_spans(self, tsim):
+        sim, tracer = tsim
+
+        def doomed():
+            tracer.begin("session", kind="session")
+            tracer.begin("attempt", kind="attempt")
+            yield 1.0
+            raise RuntimeError("boom")
+
+        process = sim.process(doomed(), name="victim")
+        sim.run()
+        assert process.triggered and not process.ok
+        spans = tracer.finish()
+        assert len(spans) == 2
+        assert all(s.status == "crashed" for s in spans)
+        assert all(s.end == 1.0 for s in spans)
+        assert all(s.attrs["error"] == "RuntimeError" for s in spans)
+
+    def test_normal_end_closes_forgotten_spans_as_orphaned(self, tsim):
+        sim, tracer = tsim
+
+        def sloppy():
+            tracer.begin("forgotten")
+            yield 1.0
+            # returns without closing
+
+        sim.process(sloppy(), name="s")
+        sim.run()
+        (span,) = tracer.finish()
+        assert span.status == "orphaned"
+
+
+class TestDeterminism:
+    def run_once(self):
+        prior = active()
+        if prior is not None:
+            prior.uninstall()
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.install()
+
+        def actor(name):
+            span = tracer.begin("work", kind="session", who=name)
+            yield 1.0
+            tracer.end(span)
+
+        for index in range(3):
+            sim.process(actor(f"a{index}"), name=f"a{index}")
+        sim.run()
+        spans = tracer.finish()
+        tracer.uninstall()
+        if prior is not None:
+            prior.install()
+        return [s.to_dict() for s in spans]
+
+    def test_identical_runs_yield_identical_span_dumps(self):
+        assert self.run_once() == self.run_once()
+
+
+class TestRingBuffer:
+    def test_overflow_evicts_oldest_and_counts_drops(self):
+        prior = active()
+        if prior is not None:
+            prior.uninstall()
+        sim = Simulator()
+        tracer = Tracer(sim, capacity=5)
+        tracer.install()
+
+        def actor():
+            for index in range(8):
+                span = tracer.begin("work", seq=index)
+                yield 0.1
+                tracer.end(span)
+
+        sim.process(actor(), name="a")
+        sim.run()
+        spans = tracer.finish()
+        tracer.uninstall()
+        if prior is not None:
+            prior.install()
+        assert len(spans) == 5
+        assert tracer.dropped == 3
+        # newest survive
+        assert [s.attrs["seq"] for s in spans] == [3, 4, 5, 6, 7]
+
+    def test_commit_spans_survive_ring_churn(self):
+        prior = active()
+        if prior is not None:
+            prior.uninstall()
+        sim = Simulator()
+        tracer = Tracer(sim, capacity=4)
+        tracer.install()
+
+        def actor():
+            tracer.instant("config-commit", kind="commit", config_id=1)
+            for index in range(10):
+                span = tracer.begin("work", seq=index)
+                yield 0.1
+                tracer.end(span)
+            tracer.instant("config-commit", kind="commit", config_id=2)
+
+        sim.process(actor(), name="a")
+        sim.run()
+        spans = tracer.finish()
+        tracer.uninstall()
+        if prior is not None:
+            prior.install()
+        commits = [s for s in spans if s.kind == "commit"]
+        assert [s.attrs["config_id"] for s in commits] == [1, 2]
+        # spans() stays sorted by creation id across both stores
+        ids = [s.span_id for s in spans]
+        assert ids == sorted(ids)
+
+
+class TestKernelCounters:
+    def test_counters_track_steps_and_processes(self, tsim):
+        sim, tracer = tsim
+
+        def actor():
+            yield 0.5
+            yield 0.5
+
+        sim.process(actor(), name="a")
+        sim.run()
+        counters = sim.counters.to_dict()
+        assert counters["processes_created"] == 1
+        assert counters["steps"] > 0
+        assert counters["events_created"] > 0
+
+    def test_actor_labels_are_sequential(self, tsim):
+        sim, tracer = tsim
+        seen = []
+
+        def actor():
+            span = tracer.begin("w")
+            yield 0.1
+            tracer.end(span)
+            seen.append(span.actor)
+
+        sim.process(actor(), name="x")
+        sim.process(actor(), name="x")
+        sim.run()
+        tracer.finish()
+        assert seen == ["x#1", "x#2"]
+
+
+class TestContextValue:
+    def test_trace_context_is_frozen(self):
+        ctx = TraceContext(trace_id=1, span_id=2, actor="a")
+        with pytest.raises(AttributeError):
+            ctx.trace_id = 3
+
+    def test_span_to_dict_sorts_attrs(self):
+        span = Span(1, 1, None, "n", "k", "a", 0.0,
+                    attrs={"z": 1, "a": 2})
+        dumped = span.to_dict()
+        assert list(dumped["attrs"]) == ["a", "z"]

@@ -1,0 +1,103 @@
+"""Unit tests for the trace well-formedness checker."""
+
+from repro.obs.trace import Span
+from repro.obs.wellformed import check_trace
+
+
+def make_span(span_id, parent_id=None, start=0.0, end=1.0, status="ok",
+              name="work", kind="span", trace_id=1, **attrs):
+    span = Span(span_id, trace_id, parent_id, name, kind, "actor#1",
+                start, attrs=dict(attrs))
+    span.end = end
+    span.status = status
+    return span
+
+
+def kinds(problems):
+    return [p.kind for p in problems]
+
+
+class TestCleanTraces:
+    def test_empty_trace_is_clean(self):
+        assert check_trace([]) == []
+
+    def test_nested_forest_is_clean(self):
+        spans = [
+            make_span(1, start=0.0, end=5.0, kind="session"),
+            make_span(2, parent_id=1, start=1.0, end=2.0, kind="attempt"),
+            make_span(3, parent_id=2, start=1.2, end=1.8, kind="rpc"),
+            make_span(4, start=3.0, end=4.0),  # independent root
+        ]
+        assert check_trace(spans) == []
+
+    def test_teardown_statuses_are_legal(self):
+        # crashed / unfinished / orphaned spans are accounted-for closes,
+        # not leaks: a nemesis crash or a time horizon must not trip the
+        # chaos invariant.
+        spans = [
+            make_span(1, status="crashed"),
+            make_span(2, status="unfinished"),
+            make_span(3, status="orphaned"),
+        ]
+        assert check_trace(spans) == []
+
+
+class TestStructuralProblems:
+    def test_unclosed_span_reported(self):
+        span = Span(1, 1, None, "w", "span", "a#1", 0.0)
+        problems = check_trace([span])
+        assert kinds(problems) == ["unclosed"]
+        assert "span 1" in problems[0].describe()
+
+    def test_negative_duration_reported(self):
+        problems = check_trace([make_span(1, start=2.0, end=1.0)])
+        assert kinds(problems) == ["negative-duration"]
+
+    def test_duplicate_id_reported(self):
+        problems = check_trace([make_span(1), make_span(1)])
+        assert "duplicate-id" in kinds(problems)
+
+    def test_missing_parent_reported_only_without_drops(self):
+        orphan = make_span(2, parent_id=99)
+        assert kinds(check_trace([orphan])) == ["missing-parent"]
+        # ring overflow legitimately severs edges
+        assert check_trace([orphan], dropped=5) == []
+
+    def test_child_before_parent_reported(self):
+        spans = [
+            make_span(1, start=2.0, end=5.0),
+            make_span(2, parent_id=1, start=1.0, end=3.0),
+        ]
+        assert kinds(check_trace(spans)) == ["child-before-parent"]
+
+    def test_max_problems_bounds_output(self):
+        spans = [Span(i, 1, None, "w", "span", "a#1", 0.0)
+                 for i in range(1, 50)]
+        problems = check_trace(spans, max_problems=10)
+        assert len(problems) == 10
+
+
+class TestConfigConsistency:
+    def test_rpc_cfg_must_match_enclosing_attempt(self):
+        spans = [
+            make_span(1, kind="attempt", config_id=4),
+            make_span(2, parent_id=1, kind="rpc", client_cfg_id=3),
+        ]
+        problems = check_trace(spans)
+        assert kinds(problems) == ["config-mismatch"]
+        assert "cfg 3" in problems[0].detail
+
+    def test_matching_cfg_is_clean(self):
+        spans = [
+            make_span(1, kind="attempt", config_id=4),
+            make_span(2, parent_id=1, kind="rpc", client_cfg_id=4),
+        ]
+        assert check_trace(spans) == []
+
+    def test_rpc_outside_attempt_not_checked(self):
+        # worker / coordinator rpcs have no attempt parent
+        spans = [
+            make_span(1, kind="recovery"),
+            make_span(2, parent_id=1, kind="rpc", client_cfg_id=3),
+        ]
+        assert check_trace(spans) == []
