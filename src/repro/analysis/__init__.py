@@ -39,6 +39,14 @@ GEM009    Non-atomic check-then-act on completeness markers: a fetched
           dirty page must have ``.complete`` consulted before use, and
           ``DirtyList(marker=True)`` may be forged only by
           ``op_create_dirty``.
+GEM010    Runtime layering: protocol packages (``repro.client`` /
+          ``repro.coordinator`` / ``repro.cache`` / ``repro.recovery``)
+          may depend on :mod:`repro.runtime`'s ``Kernel``/``Transport``
+          interfaces but never import :mod:`repro.live` or ``asyncio``
+          — they must run unmodified on either runtime. ``repro.live``
+          itself carries a justified package-level GEM001 allowance
+          (``repro.analysis.rules.WALL_CLOCK_ALLOWED``): wall-clock
+          time is its contract.
 ========  ============================================================
 
 GEM007-GEM009 are interprocedural: they consume per-module yield/lock

@@ -38,7 +38,28 @@ __all__ = [
     "SessionConfigStamp",
     "LivenessGuard",
     "MissingProtocolEvent",
+    "ProtocolLayering",
+    "WALL_CLOCK_ALLOWED",
 ]
+
+#: Packages exempt from the GEM001 wall-clock ban, with the justification
+#: an inline suppression would otherwise carry per call site. Keep this
+#: list short and argued: an entry here hands a whole package the right
+#: to real time.
+WALL_CLOCK_ALLOWED: Dict[str, str] = {
+    "repro/live": (
+        "the wall-clock half of the dual runtime: real timers, sockets "
+        "and epoch stamps are its contract, and GEM010 keeps it from "
+        "leaking back into protocol code"),
+}
+
+
+def _in_package(path: str, package: str) -> bool:
+    """Is ``path`` inside ``package`` (a posix fragment like
+    ``repro/live``)? Robust to absolute paths, ``src/`` prefixes, and
+    Windows separators."""
+    normalized = "/" + path.replace("\\", "/")
+    return f"/{package}/" in normalized
 
 
 def _functions(ctx: ModuleContext) -> List[ast.FunctionDef]:
@@ -97,6 +118,9 @@ class WallClockAndGlobalRandomness(Rule):
     }
 
     def check(self, ctx: ModuleContext) -> List[Finding]:
+        if any(_in_package(ctx.path, package)
+               for package in WALL_CLOCK_ALLOWED):
+            return []
         findings: List[Finding] = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
@@ -579,3 +603,61 @@ class MissingProtocolEvent(Rule):
                 if last in ("_emit", "emit"):
                     return True
         return False
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class ProtocolLayering(Rule):
+    """GEM010: protocol code must stay runtime-agnostic.
+
+    The protocol packages below run *unmodified* on either kernel —
+    the deterministic simulator or the wall-clock live runtime. That
+    only holds while they depend exclusively on the structural
+    interfaces in :mod:`repro.runtime` (``Kernel``/``Transport``): an
+    import of :mod:`repro.live` or of ``asyncio`` from protocol code
+    hard-wires it to one runtime, silently desimulates it (asyncio
+    schedules on the wall clock, invisible to chaos replay and the
+    sanitizer), and inverts the dependency the dual-runtime design
+    rests on.
+    """
+
+    code = "GEM010"
+    summary = ("protocol code importing the live runtime or asyncio "
+               "(depend on repro.runtime's Kernel/Transport instead)")
+
+    #: The runtime-agnostic protocol layer.
+    _PROTOCOL_PACKAGES = (
+        "repro/client", "repro/coordinator", "repro/cache",
+        "repro/recovery",
+    )
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        if not any(_in_package(ctx.path, package)
+                   for package in self._PROTOCOL_PACKAGES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    findings.extend(self._check_module(
+                        ctx, node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                findings.extend(self._check_module(
+                    ctx, node, node.module or ""))
+        return findings
+
+    def _check_module(self, ctx: ModuleContext, node: ast.AST,
+                      module: str) -> List[Finding]:
+        if module == "asyncio" or module.startswith("asyncio."):
+            return [self.finding(
+                ctx, node,
+                "protocol code importing 'asyncio' binds it to the "
+                "wall-clock runtime; take the kernel as a "
+                "repro.runtime.Kernel argument instead")]
+        if module == "repro.live" or module.startswith("repro.live."):
+            return [self.finding(
+                ctx, node,
+                f"protocol code importing {module!r} inverts the "
+                f"runtime layering; the live runtime hosts protocol "
+                f"components, never the other way around")]
+        return []

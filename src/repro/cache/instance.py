@@ -35,7 +35,7 @@ from repro.errors import (
     LeaseBackoff,
     StaleConfiguration,
 )
-from repro.sim.core import Simulator
+from repro.runtime import Kernel
 from repro.sim.network import RemoteNode
 from repro.types import CACHE_MISS
 
@@ -99,7 +99,7 @@ class InstanceStats:
 class CacheInstance(RemoteNode):
     """A single persistent cache instance."""
 
-    def __init__(self, sim: Simulator, address: str, memory_bytes: int,
+    def __init__(self, sim: Kernel, address: str, memory_bytes: int,
                  policy: Optional[EvictionPolicy] = None,
                  iq_lifetime: float = 0.010,
                  red_lifetime: float = 2.0,

@@ -24,8 +24,7 @@ from typing import Any, Dict, List
 
 from repro.cache.instance import CacheInstance, CacheOp
 from repro.errors import NetworkError, StaleConfiguration
-from repro.sim.core import Simulator
-from repro.sim.network import Network
+from repro.runtime import Kernel, Transport
 
 __all__ = ["SyncStrategy", "MirroredReplicaGroup"]
 
@@ -40,7 +39,7 @@ class SyncStrategy(str, Enum):
 class MirroredReplicaGroup:
     """One master + N slave replicas of a fragment's key range."""
 
-    def __init__(self, sim: Simulator, network: Network,
+    def __init__(self, sim: Kernel, network: Transport,
                  master: CacheInstance, slaves: List[CacheInstance],
                  strategy: SyncStrategy = SyncStrategy.BROADCAST_EVICTIONS) -> None:
         self.sim = sim

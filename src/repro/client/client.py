@@ -30,8 +30,8 @@ from repro.errors import (
 from repro.config.configuration import Configuration, FragmentInfo
 from repro.metrics.recorder import OpRecorder
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import SimGenerator, Simulator
-from repro.sim.network import Network
+from repro.runtime import Kernel, Transport
+from repro.sim.core import SimGenerator
 from repro.sim.rng import fallback_stream
 from repro.types import CACHE_MISS, FragmentMode, Value
 from repro.verify.events import EventLog
@@ -48,7 +48,7 @@ class GeminiClient:
 
     MAX_ATTEMPTS = 200
 
-    def __init__(self, sim: Simulator, network: Network,
+    def __init__(self, sim: Kernel, network: Transport,
                  policy: RecoveryPolicy,
                  coordinator_address: str = "coordinator",
                  datastore_address: str = "datastore",

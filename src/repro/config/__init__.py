@@ -7,6 +7,15 @@ last changed the fragment — the Rejig validity floor for its entries.
 """
 
 from repro.config.configuration import Configuration, FragmentInfo
+from repro.config.defaults import (DEFAULT_HEARTBEAT_TIMEOUT,
+                                   DEFAULT_RPC_UNREACHABLE_DELAY)
 from repro.config.hashing import fragment_for_key, stable_hash
 
-__all__ = ["Configuration", "FragmentInfo", "fragment_for_key", "stable_hash"]
+__all__ = [
+    "Configuration",
+    "FragmentInfo",
+    "fragment_for_key",
+    "stable_hash",
+    "DEFAULT_RPC_UNREACHABLE_DELAY",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+]

@@ -1,0 +1,26 @@
+"""Shared runtime defaults that sim and live deployments must agree on.
+
+The RPC deadline family lives here — not in :mod:`repro.sim.network` —
+because it is part of the *protocol's* operating envelope, not a
+simulation knob: a client that concludes "host unreachable" after 50 ms
+in simulation must reach the same conclusion against a real TCP endpoint
+for the failure-handling paths (failure reporting, datastore fallback,
+write suspension) to behave identically across runtimes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_RPC_UNREACHABLE_DELAY", "DEFAULT_HEARTBEAT_TIMEOUT"]
+
+#: How long a caller waits before concluding a host is unreachable, in
+#: seconds. The sim :class:`~repro.sim.network.Network` waits exactly
+#: this long before failing the RPC with HostUnreachable; the live
+#: transport applies it as the connect/response deadline for the same
+#: error. Changing this value changes simulated schedules — chaos
+#: replay fingerprints are only comparable across runs that share it.
+DEFAULT_RPC_UNREACHABLE_DELAY = 0.05
+
+#: RPC timeout used by heartbeat probes (must exceed the unreachable
+#: delay, or a healthy-but-slow node is indistinguishable from a dead
+#: one).
+DEFAULT_HEARTBEAT_TIMEOUT = 0.2

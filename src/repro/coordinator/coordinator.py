@@ -33,8 +33,9 @@ from repro.cache.instance import CacheOp
 from repro.config.configuration import Configuration, FragmentInfo
 from repro.errors import CoordinatorError, NetworkError, StaleConfiguration
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import SimGenerator, Simulator
-from repro.sim.network import Network, RemoteNode
+from repro.runtime import Kernel, Transport
+from repro.sim.core import SimGenerator
+from repro.sim.network import RemoteNode
 from repro.sim.sanitizer import active as _sanitizer_active
 from repro.sim.sync import Mutex
 from repro.types import CACHE_MISS, FragmentMode
@@ -55,7 +56,7 @@ class CoordinatorOp:
 class Coordinator(RemoteNode):
     """Master coordinator (one per cluster; see shadow.py for failover)."""
 
-    def __init__(self, sim: Simulator, network: Network,
+    def __init__(self, sim: Kernel, network: Transport,
                  instances: List[str], num_fragments: int,
                  policy: RecoveryPolicy,
                  address: str = "coordinator",

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.cache.instance import CacheOp
+from repro.config.defaults import DEFAULT_HEARTBEAT_TIMEOUT
 from repro.errors import NetworkError, ReproError
-from repro.sim.core import SimGenerator, Simulator
-from repro.sim.network import Network
+from repro.runtime import Kernel, Transport
+from repro.sim.core import SimGenerator
 
 __all__ = ["HeartbeatMonitor"]
 
@@ -23,9 +24,10 @@ __all__ = ["HeartbeatMonitor"]
 class HeartbeatMonitor:
     """Pings instances and reports liveness flips to the coordinator."""
 
-    def __init__(self, sim: Simulator, network: Network, coordinator,
+    def __init__(self, sim: Kernel, network: Transport, coordinator,
                  instances: List[str], interval: float = 0.5,
-                 misses_to_fail: int = 2, rpc_timeout: float = 0.2) -> None:
+                 misses_to_fail: int = 2,
+                 rpc_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT) -> None:
         self.sim = sim
         # The monitor is coordinator-colocated: a coordinator<->instance
         # partition makes it (correctly) perceive the instance as failed.

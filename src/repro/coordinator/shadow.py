@@ -16,8 +16,7 @@ from typing import Dict, List
 
 from repro.coordinator.coordinator import Coordinator
 from repro.errors import CoordinatorError
-from repro.sim.core import Simulator
-from repro.sim.network import Network
+from repro.runtime import Kernel, Transport
 
 __all__ = ["CoordinatorEnsemble"]
 
@@ -25,7 +24,7 @@ __all__ = ["CoordinatorEnsemble"]
 class CoordinatorEnsemble:
     """One master coordinator plus hot shadows."""
 
-    def __init__(self, sim: Simulator, network: Network, master: Coordinator,
+    def __init__(self, sim: Kernel, network: Transport, master: Coordinator,
                  num_shadows: int = 1) -> None:
         if num_shadows < 0:
             raise CoordinatorError("num_shadows must be >= 0")

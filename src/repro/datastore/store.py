@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import CacheError
-from repro.sim.core import Simulator
+from repro.runtime import Kernel
 from repro.sim.network import RemoteNode
 from repro.types import Value
 
@@ -42,7 +42,7 @@ class DataStoreOp:
 class DataStore(RemoteNode):
     """Versioned KV store; versions start at 1 once a record exists."""
 
-    def __init__(self, sim: Simulator, address: str = "datastore",
+    def __init__(self, sim: Kernel, address: str = "datastore",
                  read_service_time: float = 1e-3,
                  write_service_time: float = 1.2e-3,
                  servers: int = 32,

@@ -73,11 +73,61 @@ class ClusterSpec:
     def num_fragments(self) -> int:
         return self.num_instances * self.fragments_per_instance
 
+    def validate(self) -> None:
+        """Reject nonsensical knobs up front, before assembly.
+
+        Raises :class:`~repro.errors.SimulationError` naming the bad
+        field; both :class:`GeminiCluster` and the live harness call
+        this so misconfiguration fails at the spec, not deep inside
+        cluster wiring.
+        """
+        if self.num_instances <= 0:
+            raise SimulationError(
+                f"num_instances must be positive, got {self.num_instances}")
+        if self.fragments_per_instance <= 0:
+            raise SimulationError(
+                "fragments_per_instance must be positive, got "
+                f"{self.fragments_per_instance}")
+        if not (0.0 < self.cache_db_ratio <= 1.0):
+            raise SimulationError(
+                f"cache_db_ratio must be in (0, 1], got {self.cache_db_ratio}")
+        if self.memory_bytes is not None and self.memory_bytes <= 0:
+            raise SimulationError(
+                f"memory_bytes must be positive, got {self.memory_bytes}")
+        # Zero is a supported degenerate form for both: tests drive
+        # sessions and recovery passes by hand without any wired
+        # clients/workers. Only negatives are nonsense.
+        if self.num_clients < 0:
+            raise SimulationError(
+                f"num_clients must be >= 0, got {self.num_clients}")
+        if self.num_workers < 0:
+            raise SimulationError(
+                f"num_workers must be >= 0, got {self.num_workers}")
+        for field in ("instance_service_time", "datastore_read_time",
+                      "datastore_write_time", "latency_base",
+                      "latency_jitter"):
+            value = getattr(self, field)
+            if value < 0:
+                raise SimulationError(
+                    f"{field} must be non-negative, got {value}")
+        for field in ("iq_lifetime", "red_lifetime", "monitor_interval"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise SimulationError(
+                    f"{field} must be positive, got {value}")
+        if self.instance_servers < 1 or self.datastore_servers < 1:
+            raise SimulationError("server counts must be >= 1")
+        if self.num_shadow_coordinators < 0:
+            raise SimulationError(
+                "num_shadow_coordinators must be >= 0, got "
+                f"{self.num_shadow_coordinators}")
+
 
 class GeminiCluster:
     """A fully wired simulated deployment."""
 
     def __init__(self, spec: ClusterSpec):
+        spec.validate()
         self.spec = spec
         self.sim = Simulator()
         self.rng = RngRegistry(spec.seed)

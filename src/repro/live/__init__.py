@@ -1,0 +1,15 @@
+"""repro.live — the wall-clock runtime.
+
+Runs the *same* generator-based protocol components as the deterministic
+simulator, but on an asyncio kernel with real timers and a
+length-prefixed TCP transport, each node in its own OS process. See
+``docs/LIVE_RUNTIME.md`` and :mod:`repro.runtime` for the dual-runtime
+contract.
+
+This package is the only place in the tree allowed to touch asyncio and
+the wall clock (geminilint GEM001/GEM010 carve-out); protocol code must
+stay runtime-agnostic behind the ``Kernel``/``Transport`` protocols.
+Import it lazily — nothing under :mod:`repro` proper depends on it.
+"""
+
+__all__ = ["kernel", "wire", "transport", "node", "harness"]

@@ -1,0 +1,145 @@
+"""LiveKernel: the wall-clock implementation of the ``Kernel`` protocol.
+
+Drives the *same* generator processes and the same event machinery
+(:class:`repro.sim.core.Event` / ``Process`` / composites) as the
+deterministic simulator — but callbacks land on the asyncio event loop
+with real timers instead of a simulated heap. A protocol component
+cannot tell which kernel is stepping it; only the clock source differs.
+
+Time: ``now`` is seconds since kernel construction, measured on the
+loop's monotonic clock. Components treat it as opaque seconds (the
+``Kernel`` contract), so lease lifetimes, backoffs, and heartbeat
+periods mean real milliseconds here.
+
+Interop: :meth:`LiveKernel.wait` bridges an event (or process) to an
+``asyncio.Future`` so coroutine code — servers, harnesses — can await
+protocol work.
+
+This module is inside the ``repro.live`` wall-clock allowance
+(GEM001/GEM010); nothing outside the package may import it directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import (AllOf, AnyOf, Event, KernelCounters, Process,
+                            SimGenerator, Timeout)
+
+__all__ = ["LiveKernel"]
+
+
+class LiveKernel:
+    """Schedules kernel callbacks on an asyncio loop with real timers."""
+
+    def __init__(self,
+                 loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        #: The sim-only hooks stay permanently off: interleaving
+        #: sanitization and causal tracing assume a deterministic
+        #: schedule, which wall-clock execution cannot provide.
+        self.sanitizer = None
+        self.tracer = None
+        self.counters = KernelCounters()
+        #: Maintained by Process._step exactly as in the simulator.
+        self.current_process: Optional[Process] = None
+        self.busy_wall: Dict[str, float] = {}
+        self._live_processes: "weakref.WeakSet[Process]" = weakref.WeakSet()
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since this kernel was created."""
+        return self._loop.time() - self._t0
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` real seconds."""
+        if delay == 0:
+            self._loop.call_soon(self._run, callback, args)
+            return
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._loop.call_later(delay, self._run, callback, args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None],
+                    *args: Any) -> None:
+        """Run ``callback(*args)`` at kernel time ``when``.
+
+        Unlike the simulator, a ``when`` slightly in the past is clamped
+        to "as soon as possible" rather than rejected — real time moves
+        between computing a deadline and scheduling it.
+        """
+        self.schedule(max(0.0, when - self.now), callback, *args)
+
+    def _run(self, callback: Callable[..., None],
+             args: "tuple[Any, ...]") -> None:
+        self.counters.steps += 1
+        callback(*args)
+
+    def _schedule_trigger(self, event: Event) -> None:
+        self._loop.call_soon(self._run, event._dispatch, ())
+
+    def _retire_process(self, process: Process) -> None:
+        busy = process.busy_time
+        if busy:
+            name = process.name
+            self.busy_wall[name] = self.busy_wall.get(name, 0.0) + busy
+            process.busy_time = 0.0
+        self._live_processes.discard(process)
+
+    def busy_profile(self) -> Dict[str, float]:
+        """Host-CPU busy seconds per process name, including live ones."""
+        out = dict(self.busy_wall)
+        for process in self._live_processes:
+            if process.busy_time:
+                out[process.name] = (out.get(process.name, 0.0)
+                                     + process.busy_time)
+        return out
+
+    # -- factories (construct the shared sim.core machinery) -------------
+    def event(self) -> Event:
+        return Event(self)  # type: ignore[arg-type]
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)  # type: ignore[arg-type]
+
+    def process(self, generator: SimGenerator, name: str = "") -> Process:
+        return Process(self, generator, name)  # type: ignore[arg-type]
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)  # type: ignore[arg-type]
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)  # type: ignore[arg-type]
+
+    # -- asyncio interop -------------------------------------------------
+    def wait(self, event: Event) -> "asyncio.Future[Any]":
+        """Bridge an event (or process) to an awaitable future.
+
+        The future resolves with the event's value, or raises its
+        failure exception. Cancelling the future detaches it; the
+        underlying event keeps running.
+        """
+        future: "asyncio.Future[Any]" = self._loop.create_future()
+
+        def _done(ev: Event) -> None:
+            if future.cancelled():
+                return
+            if ev.ok:
+                future.set_result(ev.value)
+            else:
+                assert ev._exception is not None  # not ok => failed
+                future.set_exception(ev._exception)
+
+        event.add_callback(_done)
+        return future
+
+    async def run_process(self, generator: SimGenerator,
+                          name: str = "") -> Any:
+        """Spawn a generator process and await its return value."""
+        return await self.wait(self.process(generator, name=name))

@@ -1,0 +1,199 @@
+"""LiveTransport: the ``Transport`` protocol over length-prefixed TCP.
+
+One persistent connection per destination, multiplexed by request id; a
+background reader task per connection resolves pending call events as
+response/error frames arrive. The calling side is exactly the sim
+``Network`` contract: ``call`` returns an :class:`~repro.sim.core.Event`
+a generator process yields; application exceptions raised by the remote
+handler fail the event; an unreachable peer fails it with
+:class:`~repro.errors.HostUnreachable` after the shared
+:data:`~repro.config.defaults.DEFAULT_RPC_UNREACHABLE_DELAY`; an armed
+``timeout`` fails it with :class:`~repro.errors.RequestTimeout`.
+
+Addresses are logical (``"cache-0"``, ``"coordinator"``); a *registry*
+maps them to ``(host, port)`` endpoints. The registry is a plain dict,
+usually loaded from the harness's registry JSON file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config.defaults import DEFAULT_RPC_UNREACHABLE_DELAY
+from repro.errors import HostUnreachable, RequestTimeout
+from repro.live.kernel import LiveKernel
+from repro.live.wire import Framer, WireError, decode_envelope, encode_envelope
+from repro.sim.core import Event
+
+__all__ = ["LiveTransport", "BoundLiveTransport"]
+
+
+class _Peer:
+    """One live connection plus its in-flight request table."""
+
+    __slots__ = ("writer", "pending", "reader_task", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.pending: Dict[int, Event] = {}
+        self.reader_task: Optional["asyncio.Task[None]"] = None
+        self.closed = False
+
+
+class LiveTransport:
+    """TCP client fabric shared by every component in one process."""
+
+    def __init__(self, kernel: LiveKernel,
+                 registry: Dict[str, Tuple[str, int]],
+                 source: str = "") -> None:
+        self.kernel = kernel
+        self.registry = dict(registry)
+        self.source = source
+        self._peers: Dict[str, _Peer] = {}
+        self._connecting: Dict[str, "asyncio.Task[_Peer]"] = {}
+        self._next_id = 0
+        self._loop = kernel._loop
+
+    # -- Transport protocol ----------------------------------------------
+    def call(self, address: str, request: Any,
+             timeout: Optional[float] = None,
+             source: Optional[str] = None) -> Event:
+        """Issue one RPC; returns the event a process can yield."""
+        event = self.kernel.event()
+        self._next_id += 1
+        msg_id = self._next_id
+        started = self.kernel.now
+        src = self.source if source is None else source
+        self._loop.create_task(
+            self._issue(address, msg_id, request, src, event, started))
+        if timeout is not None:
+            self.kernel.schedule(timeout, self._expire, event, address)
+        return event
+
+    def bound(self, source: str) -> "BoundLiveTransport":
+        """A facade sharing this transport's connections, with identity."""
+        return BoundLiveTransport(self, source)
+
+    # -- internals --------------------------------------------------------
+    def _expire(self, event: Event, address: str) -> None:
+        if not event.triggered:
+            event.fail(RequestTimeout(f"rpc to {address!r} timed out"))
+
+    def _fail_unreachable(self, event: Event, address: str,
+                          started: float) -> None:
+        """Fail after the same dead-host delay the simulator models."""
+        remaining = DEFAULT_RPC_UNREACHABLE_DELAY - (self.kernel.now - started)
+        def _fire() -> None:
+            if not event.triggered:
+                event.fail(HostUnreachable(address))
+        self.kernel.schedule(max(0.0, remaining), _fire)
+
+    async def _issue(self, address: str, msg_id: int, request: Any,
+                     src: str, event: Event, started: float) -> None:
+        try:
+            peer = await self._peer(address)
+            peer.pending[msg_id] = event
+            peer.writer.write(
+                encode_envelope("request", msg_id, request,
+                                source=src or None))
+            await peer.writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError, WireError):
+            self._fail_unreachable(event, address, started)
+
+    async def _peer(self, address: str) -> _Peer:
+        peer = self._peers.get(address)
+        if peer is not None and not peer.closed:
+            return peer
+        pending_connect = self._connecting.get(address)
+        if pending_connect is None:
+            pending_connect = self._loop.create_task(self._connect(address))
+            self._connecting[address] = pending_connect
+            pending_connect.add_done_callback(
+                lambda _t: self._connecting.pop(address, None))
+        return await asyncio.shield(pending_connect)
+
+    async def _connect(self, address: str) -> _Peer:
+        endpoint = self.registry.get(address)
+        if endpoint is None:
+            raise ConnectionError(f"no registry entry for {address!r}")
+        host, port = endpoint
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port),
+            timeout=DEFAULT_RPC_UNREACHABLE_DELAY)
+        peer = _Peer(writer)
+        peer.reader_task = self._loop.create_task(
+            self._read_loop(address, peer, reader))
+        self._peers[address] = peer
+        return peer
+
+    async def _read_loop(self, address: str, peer: _Peer,
+                         reader: asyncio.StreamReader) -> None:
+        framer = Framer()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for frame in framer.feed(chunk):
+                    self._deliver(peer, decode_envelope(frame))
+        except (ConnectionError, OSError, WireError):
+            pass
+        finally:
+            self._drop(address, peer)
+
+    def _deliver(self, peer: _Peer, envelope: Dict[str, Any]) -> None:
+        kind = envelope["kind"]
+        if kind not in ("response", "error"):
+            return  # push events are not part of the call path
+        event = peer.pending.pop(envelope["id"], None)
+        if event is None or event.triggered:
+            return  # timed out (or already failed) — late reply dropped
+        if kind == "response":
+            event.succeed(envelope["payload"])
+        else:
+            payload = envelope["payload"]
+            if not isinstance(payload, BaseException):
+                payload = WireError(f"malformed error payload {payload!r}")
+            event.fail(payload)
+
+    def _drop(self, address: str, peer: _Peer) -> None:
+        peer.closed = True
+        if self._peers.get(address) is peer:
+            del self._peers[address]
+        pending, peer.pending = peer.pending, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(HostUnreachable(address))
+        try:
+            peer.writer.close()
+        except RuntimeError:  # pragma: no cover - loop already closing
+            pass
+
+    async def close(self) -> None:
+        """Tear down every connection (harness shutdown)."""
+        for address, peer in list(self._peers.items()):
+            self._drop(address, peer)
+        await asyncio.sleep(0)
+
+
+class BoundLiveTransport:
+    """A :class:`LiveTransport` facade with a fixed caller identity.
+
+    Mirrors :class:`repro.sim.network.NetworkHandle`: same connections,
+    same id sequence, but every RPC carries ``source``.
+    """
+
+    __slots__ = ("_transport", "source")
+
+    def __init__(self, transport: LiveTransport, source: str) -> None:
+        self._transport = transport
+        self.source = source
+
+    def call(self, address: str, request: Any,
+             timeout: Optional[float] = None) -> Event:
+        return self._transport.call(address, request, timeout=timeout,
+                                    source=self.source)
+
+    def bound(self, source: str) -> "BoundLiveTransport":
+        return BoundLiveTransport(self._transport, source)

@@ -1,0 +1,290 @@
+"""Versioned, self-describing wire codec and frame protocol.
+
+Everything that crosses a live TCP connection — RPC requests, responses,
+handler exceptions, and verify-stream events — is encoded here. The
+format is JSON with a type-tag convention: any non-primitive value is a
+JSON object carrying ``"__t"`` naming its wire type, so a decoder can
+reconstruct the exact Python object (including tuples, which plain JSON
+would silently flatten to lists, and the ``CACHE_MISS`` sentinel, which
+is semantically distinct from ``None``).
+
+Frames are ``4-byte big-endian length ‖ payload`` with a hard size cap;
+every frame is one *envelope*::
+
+    {"v": 1, "kind": "request"|"response"|"error"|"event",
+     "id": <int, correlates request/response>, "payload": <encoded>}
+
+``v`` is checked on decode: a peer speaking a different wire version is
+rejected up front instead of failing mysteriously mid-protocol.
+
+The codec is deliberately closed-world: encoding an unknown type raises
+:class:`WireError` rather than guessing, so adding an RPC payload type
+forces a conscious entry in the tables below (and in the round-trip
+property test that fuzzes all of them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.dirtylist import DirtyList, DirtyPage
+from repro.cache.instance import CacheOp
+from repro.config.configuration import Configuration, FragmentInfo
+from repro.coordinator.coordinator import CoordinatorOp
+from repro.datastore.store import DataStoreOp
+from repro.errors import (
+    CacheError,
+    ConsistencyViolation,
+    CoordinatorError,
+    FragmentUnavailable,
+    HostUnreachable,
+    InstanceDown,
+    LeaseBackoff,
+    LeaseVoided,
+    NetworkError,
+    ReproError,
+    RequestTimeout,
+    SimulationError,
+    StaleConfiguration,
+    WorkloadError,
+)
+from repro.types import CACHE_MISS, FragmentMode, Value
+from repro.verify.events import ProtocolEvent
+
+__all__ = ["WIRE_VERSION", "MAX_FRAME", "WireError", "encode", "decode",
+           "pack_frame", "Framer", "encode_envelope", "decode_envelope"]
+
+#: Bump on any incompatible change to the codec or envelope.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's payload; a peer announcing more is corrupt
+#: (or hostile) and the connection is dropped rather than buffered.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class WireError(ReproError):
+    """Malformed frame, unknown wire type, or version mismatch."""
+
+
+# --------------------------------------------------------------------------
+# value codec
+
+#: Dataclasses encoded generically as {"__t": name, "f": {field: value}}.
+_DATACLASSES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (CacheOp, CoordinatorOp, DataStoreOp, Value, FragmentInfo,
+                DirtyPage, ProtocolEvent)
+}
+
+#: Exceptions that travel as error payloads. Maps class name to
+#: (class, names of identifying constructor attributes). The attributes
+#: are re-fed to the constructor positionally on decode, then ``message``
+#: keyword restores the original text.
+_ERRORS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
+    "HostUnreachable": (HostUnreachable, ("address",)),
+    "LeaseBackoff": (LeaseBackoff, ("key",)),
+    "StaleConfiguration": (StaleConfiguration, ("known_id",)),
+    "FragmentUnavailable": (FragmentUnavailable, ("fragment_id",)),
+    "RequestTimeout": (RequestTimeout, ()),
+    "InstanceDown": (InstanceDown, ()),
+    "LeaseVoided": (LeaseVoided, ()),
+    "CacheError": (CacheError, ()),
+    "CoordinatorError": (CoordinatorError, ()),
+    "NetworkError": (NetworkError, ()),
+    "WorkloadError": (WorkloadError, ()),
+    "SimulationError": (SimulationError, ()),
+    "ConsistencyViolation": (ConsistencyViolation, ()),
+    "WireError": (WireError, ()),
+    "ReproError": (ReproError, ()),
+}
+
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def _pack(obj: Any) -> Any:
+    """Lower ``obj`` to a JSON-serializable structure."""
+    # Before the primitive fast path: FragmentMode is a str subclass and
+    # must keep its tag, or it would decode as a bare string.
+    if isinstance(obj, FragmentMode):
+        return {"__t": "FragmentMode", "v": obj.value}
+    if isinstance(obj, _PRIMITIVES):
+        return obj
+    if isinstance(obj, list):
+        return [_pack(item) for item in obj]
+    if isinstance(obj, tuple):
+        return {"__t": "tuple", "items": [_pack(item) for item in obj]}
+    if isinstance(obj, (set, frozenset)):
+        return {"__t": "set", "items": [_pack(item) for item in obj]}
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and "__t" not in obj:
+            return {k: _pack(v) for k, v in obj.items()}
+        # Non-string keys (or a reserved "__t" key) need the escaped form.
+        return {"__t": "map",
+                "items": [[_pack(k), _pack(v)] for k, v in obj.items()]}
+    if obj is CACHE_MISS:
+        return {"__t": "CacheMiss"}
+    name = type(obj).__name__
+    if name in _DATACLASSES and isinstance(obj, _DATACLASSES[name]):
+        fields = {f.name: _pack(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__t": name, "f": fields}
+    if isinstance(obj, Configuration):
+        return {"__t": "Configuration", "config_id": obj.config_id,
+                "fragments": [_pack(f) for f in obj.fragments]}
+    if isinstance(obj, DirtyList):
+        return {"__t": "DirtyList", "fragment_id": obj.fragment_id,
+                "marker": obj.marker,
+                "keys": [[k, seq] for k, seq in obj._keys.items()],
+                "next_seq": obj._next_seq}
+    if isinstance(obj, BaseException):
+        name = type(obj).__name__
+        spec = _ERRORS.get(name)
+        args = ([_pack(getattr(obj, attr)) for attr in spec[1]]
+                if spec else [])
+        return {"__t": "error", "cls": name, "args": args, "msg": str(obj)}
+    raise WireError(f"cannot encode {type(obj).__name__} on the wire")
+
+
+def _unpack_error(obj: Dict[str, Any]) -> BaseException:
+    spec = _ERRORS.get(obj.get("cls", ""))
+    msg = obj.get("msg", "")
+    if spec is None:
+        # A peer raised something outside the protocol's vocabulary
+        # (a bug leaking through); surface it without losing the text.
+        return ReproError(f"remote {obj.get('cls', '?')}: {msg}")
+    cls, attrs = spec
+    args = [_unpack(a) for a in obj.get("args", [])]
+    if attrs:
+        return cls(*args, message=msg)
+    return cls(msg)
+
+
+def _unpack(obj: Any) -> Any:
+    """Inverse of :func:`_pack`."""
+    if isinstance(obj, list):
+        return [_unpack(item) for item in obj]
+    if not isinstance(obj, dict):
+        return obj
+    tag = obj.get("__t")
+    if tag is None:
+        return {k: _unpack(v) for k, v in obj.items()}
+    if tag == "tuple":
+        return tuple(_unpack(item) for item in obj["items"])
+    if tag == "set":
+        return set(_unpack(item) for item in obj["items"])
+    if tag == "map":
+        return {_unpack(k): _unpack(v) for k, v in obj["items"]}
+    if tag == "CacheMiss":
+        return CACHE_MISS
+    if tag == "FragmentMode":
+        return FragmentMode(obj["v"])
+    if tag == "Configuration":
+        return Configuration(
+            config_id=obj["config_id"],
+            fragments=[_unpack(f) for f in obj["fragments"]])
+    if tag == "DirtyList":
+        dirty = DirtyList(obj["fragment_id"], obj["marker"])
+        for key, seq in obj["keys"]:
+            dirty.append(key)
+            dirty._keys[key] = seq
+        dirty._next_seq = obj["next_seq"]
+        return dirty
+    if tag == "error":
+        return _unpack_error(obj)
+    cls = _DATACLASSES.get(tag)
+    if cls is not None:
+        return cls(**{k: _unpack(v) for k, v in obj["f"].items()})
+    raise WireError(f"unknown wire type {tag!r}")
+
+
+def encode(obj: Any) -> bytes:
+    """Encode one value to its wire bytes (no frame header)."""
+    try:
+        return json.dumps(_pack(obj), separators=(",", ":"),
+                          ensure_ascii=False).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"encode failed: {exc}") from exc
+
+
+def decode(data: bytes) -> Any:
+    """Decode wire bytes produced by :func:`encode`."""
+    try:
+        return _unpack(json.loads(data.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# envelopes
+
+def encode_envelope(kind: str, msg_id: int, payload: Any,
+                    source: Optional[str] = None) -> bytes:
+    """One framed envelope, ready to write to a socket."""
+    body: Dict[str, Any] = {"v": WIRE_VERSION, "kind": kind, "id": msg_id,
+                            "payload": _pack(payload)}
+    if source is not None:
+        body["src"] = source
+    data = json.dumps(body, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    return pack_frame(data)
+
+
+def decode_envelope(data: bytes) -> Dict[str, Any]:
+    """Decode one frame's payload into ``{kind, id, payload, src}``.
+
+    The ``payload`` of an ``error`` envelope comes back as the
+    reconstructed exception instance.
+    """
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable envelope: {exc}") from exc
+    if not isinstance(body, dict) or body.get("v") != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: want {WIRE_VERSION}, "
+            f"got {body.get('v') if isinstance(body, dict) else body!r}")
+    kind = body.get("kind")
+    if kind not in ("request", "response", "error", "event"):
+        raise WireError(f"unknown envelope kind {kind!r}")
+    return {"kind": kind, "id": body.get("id"),
+            "payload": _unpack(body.get("payload")),
+            "src": body.get("src")}
+
+
+# --------------------------------------------------------------------------
+# framing
+
+def pack_frame(data: bytes) -> bytes:
+    """Prefix ``data`` with its 4-byte big-endian length."""
+    if len(data) > MAX_FRAME:
+        raise WireError(f"frame of {len(data)} bytes exceeds MAX_FRAME")
+    return len(data).to_bytes(4, "big") + data
+
+
+class Framer:
+    """Incremental frame splitter for a TCP byte stream.
+
+    Feed it arbitrary chunks; it yields complete frame payloads. Usable
+    both by the asyncio transport and synchronously in tests.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < 4:
+                return frames
+            length = int.from_bytes(self._buffer[:4], "big")
+            if length > MAX_FRAME:
+                raise WireError(f"peer announced {length}-byte frame")
+            if len(self._buffer) < 4 + length:
+                return frames
+            frames.append(bytes(self._buffer[4:4 + length]))
+            del self._buffer[:4 + length]

@@ -48,8 +48,8 @@ from repro.errors import (
 from repro.metrics.recovery import RecoveryRecorder
 from repro.config.configuration import Configuration, FragmentInfo
 from repro.recovery.policies import RecoveryPolicy
-from repro.sim.core import Process, SimGenerator, Simulator
-from repro.sim.network import Network
+from repro.runtime import Kernel, Transport
+from repro.sim.core import Process, SimGenerator
 from repro.sim.rng import fallback_stream
 from repro.types import CACHE_MISS, FragmentMode
 from repro.verify.events import EventLog
@@ -62,7 +62,7 @@ _UNREACHABLE = (NetworkError, InstanceDown)
 class RecoveryWorker:
     """One background repair worker."""
 
-    def __init__(self, sim: Simulator, network: Network,
+    def __init__(self, sim: Kernel, network: Transport,
                  policy: RecoveryPolicy,
                  coordinator_address: str = "coordinator",
                  name: str = "worker",

@@ -1,0 +1,123 @@
+"""The dual-runtime contract: ``Kernel`` and ``Transport`` protocols.
+
+The protocol components (client, coordinator, cache instance, recovery
+worker, heartbeat monitor, workload threads) are generator-based actors
+that only ever touch their execution environment through two narrow
+surfaces:
+
+* a **kernel** — a clock (``now``), delayed callbacks (``schedule``),
+  and the waitable factories (``event``/``timeout``/``process``/
+  ``all_of``/``any_of``) whose results they ``yield``;
+* a **transport** — ``call(address, request, timeout)`` returning a
+  waitable that resolves to the response (or fails with the handler's
+  exception), plus ``bound(source)`` to stamp a caller identity.
+
+This module names those surfaces as :class:`typing.Protocol` classes.
+The deterministic simulator (:class:`repro.sim.core.Simulator` /
+:class:`repro.sim.network.Network`) satisfies them **structurally, with
+no adapter and no behavioural change** — which is what keeps the chaos
+engine's byte-for-byte trial fingerprints stable across the extraction.
+The wall-clock runtime (:mod:`repro.live`) provides a second
+implementation driving the *same* generators over asyncio and TCP.
+
+Layering rule (enforced by geminilint GEM010): protocol components may
+import this module (and the sim substrate), but never :mod:`repro.live`
+or :mod:`asyncio` — real-time concerns stay behind these protocols.
+
+Note the waitable types themselves (:class:`~repro.sim.core.Event`,
+``Process``, composites) are deliberately *shared*, not abstracted: both
+kernels schedule the identical event machinery, so a generator cannot
+tell which runtime is driving it.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Iterable, Optional, Protocol,
+                    runtime_checkable)
+
+from repro.sim.core import (AllOf, AnyOf, Event, KernelCounters, Process,
+                            SimGenerator, Timeout)
+
+if TYPE_CHECKING:  # optional hooks; live kernels simply keep them None
+    from repro.obs.trace import Tracer
+    from repro.sim.sanitizer import SimSanitizer
+
+__all__ = ["Kernel", "Transport"]
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """What a protocol component may demand of its execution kernel.
+
+    ``Simulator`` implements this over a deterministic event heap;
+    :class:`repro.live.kernel.LiveKernel` implements it over the asyncio
+    event loop with real timers. Components must treat ``now`` as opaque
+    seconds since an arbitrary epoch — simulated time in one runtime,
+    wall-clock seconds since kernel start in the other.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current kernel time in seconds (simulated or wall-clock)."""
+        ...
+
+    #: Optional interleaving sanitizer; None outside sanitized sim runs.
+    sanitizer: Optional["SimSanitizer"]
+    #: Optional causal tracer; None unless tracing is installed.
+    tracer: Optional["Tracer"]
+    #: Always-on kernel profiling counters.
+    counters: KernelCounters
+    #: The process currently being stepped (None in kernel callbacks).
+    current_process: Optional[Process]
+
+    def schedule(self, delay: float, callback: Any, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` kernel seconds."""
+        ...
+
+    def schedule_at(self, when: float, callback: Any, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute kernel time ``when``."""
+        ...
+
+    def event(self) -> Event:
+        ...
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        ...
+
+    def process(self, generator: SimGenerator, name: str = "") -> Process:
+        ...
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        ...
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """RPC fabric as seen by a protocol component.
+
+    ``call`` returns a waitable event: ``yield`` it from a process to
+    receive the response, or observe the handler's exception —
+    application-level errors (LeaseBackoff, StaleConfiguration, ...)
+    propagate through exactly like a client library surfacing a server
+    error code. ``timeout`` bounds the wait with
+    :class:`~repro.errors.RequestTimeout`; both runtimes default their
+    dead-host delay to the shared
+    :data:`repro.config.defaults.DEFAULT_RPC_UNREACHABLE_DELAY` so sim
+    and live agree on RPC deadlines.
+
+    :class:`repro.sim.network.Network` (and its bound
+    :class:`~repro.sim.network.NetworkHandle`) implement this in
+    simulation; :class:`repro.live.transport.LiveTransport` implements
+    it over length-prefixed TCP frames.
+    """
+
+    def call(self, address: str, request: Any,
+             timeout: Optional[float] = None) -> Event:
+        ...
+
+    def bound(self, source: str) -> "Transport":
+        """A facade whose RPCs carry ``source`` as the caller identity."""
+        ...

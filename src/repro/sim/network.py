@@ -32,11 +32,13 @@ from collections import deque
 from typing import (TYPE_CHECKING, Any, Deque, Dict, Generator, Optional,
                     Set, Tuple)
 
+from repro.config.defaults import DEFAULT_RPC_UNREACHABLE_DELAY
 from repro.errors import HostUnreachable, RequestTimeout, SimulationError
 from repro.sim.core import Event, Simulator
 
 if TYPE_CHECKING:  # tracing types only; the hooks stay optional at runtime
     from repro.obs.trace import Span
+    from repro.runtime import Kernel
 
 __all__ = ["LatencyModel", "ServiceStation", "RemoteNode", "Network",
            "NetworkHandle"]
@@ -70,7 +72,7 @@ class ServiceStation:
     miss latency balloons.
     """
 
-    def __init__(self, sim: Simulator, servers: int = 1) -> None:
+    def __init__(self, sim: "Kernel", servers: int = 1) -> None:
         if servers < 1:
             raise SimulationError("a station needs at least one server")
         self.sim = sim
@@ -131,9 +133,13 @@ class RemoteNode:
     Subclasses implement :meth:`handle_request` (which may be a plain
     function or a generator to consume further simulated time) and
     :meth:`service_time` (CPU/storage cost of the request at the node).
+
+    Nodes are kernel-agnostic (:class:`repro.runtime.Kernel`): the same
+    subclass instances serve RPCs in simulation and, hosted by a
+    :mod:`repro.live` node process, over real TCP.
     """
 
-    def __init__(self, sim: Simulator, address: str, servers: int = 8) -> None:
+    def __init__(self, sim: "Kernel", address: str, servers: int = 8) -> None:
         self.sim = sim
         self.address = address
         self.up = True
@@ -166,7 +172,9 @@ class Network:
     """
 
     #: How long a caller waits before concluding a host is unreachable.
-    DEFAULT_UNREACHABLE_DELAY = 0.05
+    #: Shared with the live runtime (repro.config.defaults) so sim and
+    #: live deployments agree on RPC deadlines.
+    DEFAULT_UNREACHABLE_DELAY = DEFAULT_RPC_UNREACHABLE_DELAY
 
     def __init__(self, sim: Simulator, latency: LatencyModel,
                  unreachable_delay: Optional[float] = None) -> None:

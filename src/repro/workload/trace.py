@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.errors import WorkloadError
-from repro.sim.core import Simulator
+from repro.runtime import Kernel
 from repro.sim.sync import Semaphore
 
 __all__ = ["TraceRecord", "TraceReplayer"]
@@ -36,7 +36,7 @@ class TraceRecord:
 class TraceReplayer:
     """Replays trace records against a client at their timestamps."""
 
-    def __init__(self, sim: Simulator, client, max_in_flight: int = 256,
+    def __init__(self, sim: Kernel, client, max_in_flight: int = 256,
                  pick_client: Optional[Callable[[TraceRecord], object]] = None):
         self.sim = sim
         self.client = client

@@ -19,7 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import WorkloadError
-from repro.sim.core import Simulator
+from repro.runtime import Kernel
 from repro.workload.distributions import ZipfianGenerator
 from repro.workload.keyspace import KeySpace
 
@@ -98,7 +98,7 @@ class ClosedLoopThread:
     True (the experiment harness passes a deadline check).
     """
 
-    def __init__(self, sim: Simulator, client, workload: YcsbWorkload,
+    def __init__(self, sim: Kernel, client, workload: YcsbWorkload,
                  name: str = "ycsb-thread", stop=None,
                  max_ops: Optional[int] = None):
         self.sim = sim

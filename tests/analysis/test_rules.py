@@ -10,6 +10,7 @@ from repro.analysis.core import analyze_source
 from repro.analysis.rules import (
     LivenessGuard,
     MissingProtocolEvent,
+    ProtocolLayering,
     SessionConfigStamp,
     UnawaitedSimPrimitive,
     UnguardedDirtyMutation,
@@ -379,5 +380,89 @@ class TestGem006MissingProtocolEvent:
             class Helper:
                 def _commit(self, config):
                     self.current = config
+        """)
+        assert findings == []
+
+
+def check_at(rule, path, source):
+    return analyze_source(textwrap.dedent(source), path=path,
+                          rules=[rule()])
+
+
+class TestGem001PackageAllowance:
+    def test_live_package_may_use_wall_clock(self):
+        findings = check_at(
+            WallClockAndGlobalRandomness, "src/repro/live/node.py", """
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert findings == []
+
+    def test_allowance_is_path_scoped_not_global(self):
+        findings = check_at(
+            WallClockAndGlobalRandomness, "src/repro/cache/instance.py", """
+            import time
+        """)
+        assert [f.code for f in findings] == ["GEM001"]
+
+    def test_every_allowance_carries_a_justification(self):
+        from repro.analysis.rules import WALL_CLOCK_ALLOWED
+        for package, reason in WALL_CLOCK_ALLOWED.items():
+            assert reason.strip(), f"{package} allowance lacks a reason"
+
+
+class TestGem010ProtocolLayering:
+    def test_asyncio_import_in_protocol_code_flagged(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/client/client.py", """
+            import asyncio
+        """)
+        assert [f.code for f in findings] == ["GEM010"]
+        assert "asyncio" in findings[0].message
+
+    def test_asyncio_from_import_flagged(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/coordinator/membership.py", """
+            from asyncio import get_running_loop
+        """)
+        assert [f.code for f in findings] == ["GEM010"]
+
+    def test_live_runtime_import_flagged(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/recovery/worker.py", """
+            from repro.live.kernel import LiveKernel
+        """)
+        assert [f.code for f in findings] == ["GEM010"]
+        assert "repro.live" in findings[0].message
+
+    def test_plain_live_import_flagged(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/cache/instance.py", """
+            import repro.live.wire
+        """)
+        assert [f.code for f in findings] == ["GEM010"]
+
+    def test_runtime_interfaces_are_the_sanctioned_dependency(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/client/client.py", """
+            from repro.runtime import Kernel, Transport
+            from repro.sim.core import SimGenerator
+        """)
+        assert findings == []
+
+    def test_live_package_itself_is_out_of_scope(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/live/harness.py", """
+            import asyncio
+            from repro.live.kernel import LiveKernel
+        """)
+        assert findings == []
+
+    def test_non_protocol_modules_are_out_of_scope(self):
+        findings = check_at(
+            ProtocolLayering, "src/repro/harness/cluster.py", """
+            import asyncio
         """)
         assert findings == []

@@ -12,6 +12,48 @@ class TestSpec:
         assert spec.num_fragments == 40
 
 
+class TestSpecValidation:
+    def test_defaults_validate(self):
+        ClusterSpec().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_instances": 0},
+        {"num_instances": -3},
+        {"fragments_per_instance": 0},
+        {"cache_db_ratio": 0.0},
+        {"cache_db_ratio": 1.5},
+        {"cache_db_ratio": -0.1},
+        {"memory_bytes": 0},
+        {"num_clients": -1},
+        {"num_workers": -2},
+        {"instance_service_time": -1e-6},
+        {"datastore_read_time": -0.5},
+        {"datastore_write_time": -0.5},
+        {"latency_base": -1e-6},
+        {"latency_jitter": -1e-6},
+        {"iq_lifetime": 0.0},
+        {"red_lifetime": -1.0},
+        {"monitor_interval": 0.0},
+        {"instance_servers": 0},
+        {"datastore_servers": 0},
+        {"num_shadow_coordinators": -1},
+    ])
+    def test_bad_knob_rejected(self, kwargs):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            ClusterSpec(**kwargs).validate()
+
+    def test_error_names_the_field(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="cache_db_ratio"):
+            ClusterSpec(cache_db_ratio=2.0).validate()
+
+    def test_cluster_constructor_validates(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="num_instances"):
+            GeminiCluster(ClusterSpec(num_instances=0))
+
+
 class TestWiring:
     def test_components_registered_on_network(self, small_cluster):
         assert small_cluster.network.node("datastore") is small_cluster.datastore

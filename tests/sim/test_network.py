@@ -148,6 +148,30 @@ class TestRpc:
         assert not process.ok
         assert sim.now >= net.unreachable_delay
 
+    def test_default_unreachable_delay_is_shared_constant(self, sim):
+        # Regression: sim and live runtimes must agree on RPC deadlines.
+        # The fallback comes from repro.config.defaults, not a literal
+        # buried in sim/network.py — and its value is pinned because
+        # chaos fingerprints are only comparable across runs sharing it.
+        from repro.config.defaults import DEFAULT_RPC_UNREACHABLE_DELAY
+        net = make_net(sim)
+        assert Network.DEFAULT_UNREACHABLE_DELAY is DEFAULT_RPC_UNREACHABLE_DELAY
+        assert net.unreachable_delay == DEFAULT_RPC_UNREACHABLE_DELAY == 0.05
+        assert make_net(sim).unreachable_delay == net.unreachable_delay
+
+    def test_heartbeat_timeout_default_is_shared_constant(self, sim):
+        from repro.config.defaults import (DEFAULT_HEARTBEAT_TIMEOUT,
+                                           DEFAULT_RPC_UNREACHABLE_DELAY)
+        from repro.coordinator.membership import HeartbeatMonitor
+
+        class _Coord:
+            address = "coordinator"
+
+        net = make_net(sim)
+        monitor = HeartbeatMonitor(sim, net, _Coord(), instances=[])
+        assert monitor.rpc_timeout == DEFAULT_HEARTBEAT_TIMEOUT
+        assert DEFAULT_HEARTBEAT_TIMEOUT > DEFAULT_RPC_UNREACHABLE_DELAY
+
     def test_node_dying_mid_service_fails_call(self, sim):
         net = make_net(sim)
         node = EchoNode(sim, service=5.0)
