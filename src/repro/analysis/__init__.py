@@ -47,12 +47,33 @@ GEM010    Runtime layering: protocol packages (``repro.client`` /
           itself carries a justified package-level GEM001 allowance
           (``repro.analysis.rules.WALL_CLOCK_ALLOWED``): wall-clock
           time is its contract.
+GEM011    Wire exception-flow closure: every exception type that can
+          escape a live request handler must be registered in
+          ``repro.live.wire._ERRORS`` and be reconstructible from its
+          declared attributes — otherwise a remote peer sees a
+          degraded ``ReproError`` instead of the real type.
+GEM012    Journal-before-ack: ``PersistentCacheInstance`` mutation
+          hooks must append their journal record synchronously, before
+          the handler returns the reply frame; deferring the append to
+          a scheduler or callback acknowledges un-persisted state.
+GEM013    Asyncio discipline in ``repro.live``: no blocking primitives
+          on the event loop, no fire-and-forget tasks with unobserved
+          exceptions, no transport await without a timeout, no lock
+          held across an ``await`` without try/finally release.
+GEM014    Wire-schema drift: the codec surface of
+          ``repro.live.wire`` must match the committed
+          ``ci/wire-schema.json`` snapshot; any divergence demands a
+          ``WIRE_VERSION`` bump plus regeneration via
+          ``tools/wire_schema.py --write`` in the same change.
 ========  ============================================================
 
 GEM007-GEM009 are interprocedural: they consume per-module yield/lock
 summaries from :mod:`repro.analysis.interproc`, so a helper reached via
 ``yield from`` contributes its suspension points and lock acquisitions
-to its callers.
+to its callers. GEM011-GEM014 are the GeminiFlow pass
+(:mod:`repro.analysis.flow` / :mod:`repro.analysis.flowrules`): a
+cross-module call graph with a may-raise fixpoint over the live
+runtime, plus the wire-schema contract gate.
 
 Run with ``python -m repro.analysis src/``; suppress a finding with an
 inline ``# geminilint: disable=GEMxxx -- justification`` comment (the

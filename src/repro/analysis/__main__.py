@@ -17,7 +17,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=("geminilint: protocol-aware static analysis for the "
-                     "Gemini reproduction (rules GEM001-GEM010)"),
+                     "Gemini reproduction (rules GEM001-GEM014)"),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -148,6 +148,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> Dict[str, Type[Rule]]:
     """Registered rules by code (importing .rules populates this)."""
+    import repro.analysis.flowrules  # noqa: F401  - registration side effect
     import repro.analysis.interleave  # noqa: F401  - registration side effect
     import repro.analysis.rules  # noqa: F401  - registration side effect
     return dict(_REGISTRY)
@@ -238,9 +239,27 @@ def analyze_source(
     findings: List[Finding] = []
     for rule in active:
         findings.extend(rule.check(ctx))
+    findings = _apply_allowances(ctx, findings)
     findings = _apply_suppressions(ctx, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def _apply_allowances(ctx: ModuleContext,
+                      findings: List[Finding]) -> List[Finding]:
+    """Drop findings whose rule grants the whole package an allowance
+    (:data:`repro.analysis.rules.ALLOWANCES`). Rules may also consult
+    their own allowance table up front as a fast path; this central
+    filter is what makes the contract uniform across rules."""
+    # Imported lazily: rules.py imports this module at load time.
+    from repro.analysis.rules import ALLOWANCES, _in_package
+    kept: List[Finding] = []
+    for finding in findings:
+        allowed = ALLOWANCES.get(finding.code, {})
+        if any(_in_package(ctx.path, package) for package in allowed):
+            continue
+        kept.append(finding)
+    return kept
 
 
 def analyze_file(path: Path, root: Optional[Path] = None,

@@ -18,6 +18,7 @@ of the historical bugs (tests/analysis/test_historical_bugs.py).
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.core import (
@@ -39,7 +40,9 @@ __all__ = [
     "LivenessGuard",
     "MissingProtocolEvent",
     "ProtocolLayering",
+    "DanglingAllowance",
     "WALL_CLOCK_ALLOWED",
+    "ALLOWANCES",
 ]
 
 #: Packages exempt from the GEM001 wall-clock ban, with the justification
@@ -51,6 +54,39 @@ WALL_CLOCK_ALLOWED: Dict[str, str] = {
         "the wall-clock half of the dual runtime: real timers, sockets "
         "and epoch stamps are its contract, and GEM010 keeps it from "
         "leaking back into protocol code"),
+    "tests": (
+        "unit tests seed local Randoms and stamp wall time deliberately "
+        "(timeouts, tmp files); determinism is enforced on src/ where "
+        "the kernel lives"),
+}
+
+#: Per-rule package allowances, applied centrally by the driver after
+#: rules run (:func:`repro.analysis.core.analyze_source`). The outer key
+#: is the rule code; the inner map is ``package fragment -> why the
+#: whole package is exempt``. Same contract as WALL_CLOCK_ALLOWED (which
+#: is the GEM001 entry): keep entries few and argued, and delete them
+#: when the package goes away — GEM000 reports dangling entries.
+ALLOWANCES: Dict[str, Dict[str, str]] = {
+    "GEM001": WALL_CLOCK_ALLOWED,
+    "GEM002": {
+        "tests/sim": (
+            "kernel unit tests construct events/timeouts to probe their "
+            "state machines, not to wait on them"),
+    },
+    "GEM008": {
+        "tests/sim": (
+            "sanitizer tests mint deliberately inverted acquisition "
+            "orders as the unit under test"),
+        "tests/cache": (
+            "lease tests drive acquire/release sequences out of order "
+            "on purpose to assert the conflict paths"),
+    },
+    "GEM009": {
+        "tests/cache": (
+            "dirty-list tests construct marked lists directly as the "
+            "unit under test; there is no protocol episode to scope "
+            "them to"),
+    },
 }
 
 
@@ -661,3 +697,75 @@ class ProtocolLayering(Rule):
                 f"runtime layering; the live runtime hosts protocol "
                 f"components, never the other way around")]
         return []
+
+
+@register_rule
+class DanglingAllowance(Rule):
+    """Allowance hygiene: a package allowance must name a live package.
+
+    Package allowances (``WALL_CLOCK_ALLOWED``, the ``ALLOWANCES``
+    registry) silently switch rules off for whole subtrees, so a stale
+    entry — one naming a package that was renamed or deleted — is a
+    standing hole nobody is using deliberately. Any module-level
+    ``*_ALLOWED`` dict literal, and any dict literal inside an
+    ``ALLOWANCES`` registry, is checked: every package key must exist as
+    a directory somewhere above the module that declares it.
+
+    The rule shares GEM000 with the driver's unjustified-suppression
+    report: both are suppression-hygiene findings.
+    """
+
+    code = "GEM000"
+    summary = ("suppression hygiene: justified inline disables, no "
+               "dangling package allowances")
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        roots = self._search_roots(ctx)
+        if roots is None:
+            return []  # fixture source with no real file: nothing to judge
+        findings: List[Finding] = []
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id.endswith("_ALLOWED"):
+                    findings.extend(self._check_dict(
+                        ctx, roots, target.id, node.value))
+                elif target.id == "ALLOWANCES" and \
+                        isinstance(node.value, ast.Dict):
+                    for value in node.value.values:
+                        findings.extend(self._check_dict(
+                            ctx, roots, target.id, value))
+        return findings
+
+    @staticmethod
+    def _search_roots(ctx: ModuleContext) -> Optional[List[Path]]:
+        try:
+            resolved = Path(ctx.path).resolve()
+        except OSError:  # pragma: no cover - exotic filesystems
+            return None
+        if not resolved.is_file():
+            return None
+        return list(resolved.parents)
+
+    def _check_dict(self, ctx: ModuleContext, roots: List[Path],
+                    name: str, value: ast.expr) -> List[Finding]:
+        if not isinstance(value, ast.Dict):
+            return []  # a Name alias of another table, checked at its own
+            # definition site
+        findings: List[Finding] = []
+        for key in value.keys:
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            package = key.value
+            if any((root / package).is_dir() for root in roots):
+                continue
+            findings.append(self.finding(
+                ctx, key,
+                f"allowance in {name} names package {package!r}, which "
+                f"is no longer a directory anywhere above this module — "
+                f"delete the stale entry"))
+        return findings

@@ -174,6 +174,7 @@ class LiveCluster:
 
     async def _spawn(self, role: str, address: str,
                      spec: Dict[str, Any]) -> None:
+        # geminilint: disable=GEM013 -- harness boot path: one open per node, dwarfed by the subprocess spawn just below
         stderr = open(self.workdir / f"{address}.stderr.log", "ab")
         self._stderr_files[address] = stderr
         src_root = Path(__file__).resolve().parents[2]

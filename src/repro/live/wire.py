@@ -53,15 +53,28 @@ from repro.errors import (
 from repro.types import CACHE_MISS, FragmentMode, Value
 from repro.verify.events import ProtocolEvent
 
-__all__ = ["WIRE_VERSION", "MAX_FRAME", "WireError", "encode", "decode",
+__all__ = ["WIRE_VERSION", "MAX_FRAME", "ENVELOPE_KINDS",
+           "WIRE_SPECIAL_FORMS", "WireError", "encode", "decode",
            "pack_frame", "Framer", "encode_envelope", "decode_envelope"]
 
-#: Bump on any incompatible change to the codec or envelope.
+#: Bump on any incompatible change to the codec or envelope. The
+#: committed ``ci/wire-schema.json`` snapshot (tools/wire_schema.py)
+#: must be regenerated in the same change; GEM014 holds the tree red
+#: until version and snapshot move together.
 WIRE_VERSION = 1
 
 #: Upper bound on one frame's payload; a peer announcing more is corrupt
 #: (or hostile) and the connection is dropped rather than buffered.
 MAX_FRAME = 16 * 1024 * 1024
+
+#: Envelope kinds a peer may send; anything else is rejected on decode.
+ENVELOPE_KINDS = ("request", "response", "error", "event")
+
+#: Non-dataclass wire forms with bespoke encodings in _pack/_unpack.
+#: Part of the schema contract: adding or changing one is a codec change
+#: and must bump WIRE_VERSION alongside the snapshot.
+WIRE_SPECIAL_FORMS = ("tuple", "set", "map", "CacheMiss", "FragmentMode",
+                      "Configuration", "DirtyList", "error")
 
 
 class WireError(ReproError):
@@ -246,7 +259,7 @@ def decode_envelope(data: bytes) -> Dict[str, Any]:
             f"wire version mismatch: want {WIRE_VERSION}, "
             f"got {body.get('v') if isinstance(body, dict) else body!r}")
     kind = body.get("kind")
-    if kind not in ("request", "response", "error", "event"):
+    if kind not in ENVELOPE_KINDS:
         raise WireError(f"unknown envelope kind {kind!r}")
     return {"kind": kind, "id": body.get("id"),
             "payload": _unpack(body.get("payload")),
@@ -259,7 +272,8 @@ def decode_envelope(data: bytes) -> Dict[str, Any]:
 def pack_frame(data: bytes) -> bytes:
     """Prefix ``data`` with its 4-byte big-endian length."""
     if len(data) > MAX_FRAME:
-        raise WireError(f"frame of {len(data)} bytes exceeds MAX_FRAME")
+        raise WireError(f"frame of {len(data)} bytes exceeds the "
+                        f"{MAX_FRAME}-byte cap")
     return len(data).to_bytes(4, "big") + data
 
 
@@ -283,7 +297,8 @@ class Framer:
                 return frames
             length = int.from_bytes(self._buffer[:4], "big")
             if length > MAX_FRAME:
-                raise WireError(f"peer announced {length}-byte frame")
+                raise WireError(f"peer announced a {length}-byte frame, "
+                                f"over the {MAX_FRAME}-byte cap")
             if len(self._buffer) < 4 + length:
                 return frames
             frames.append(bytes(self._buffer[4:4 + length]))

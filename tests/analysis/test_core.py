@@ -24,10 +24,12 @@ def run_gem001(source):
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(all_rules()) == [
+            "GEM000",
             "GEM001", "GEM002", "GEM003", "GEM004", "GEM005", "GEM006",
-            "GEM007", "GEM008", "GEM009", "GEM010",
+            "GEM007", "GEM008", "GEM009", "GEM010", "GEM011", "GEM012",
+            "GEM013", "GEM014",
         ]
 
     def test_duplicate_code_rejected(self):

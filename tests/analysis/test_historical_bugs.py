@@ -12,6 +12,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.core import analyze_source
+from repro.analysis.flowrules import (ExceptionFlowClosure,
+                                      JournalBeforeAck,
+                                      WireSchemaDrift)
 from repro.analysis.interleave import (CheckThenActOnMarkers,
                                        LockOrderInversion,
                                        StaleCaptureAcrossYield)
@@ -22,6 +25,8 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 CLIENT = SRC / "client" / "client.py"
 COORDINATOR = SRC / "coordinator" / "coordinator.py"
 WORKER = SRC / "recovery" / "worker.py"
+WIRE = SRC / "live" / "wire.py"
+NODE = SRC / "live" / "node.py"
 
 #: PR 1's stamping bug: a recovery-mode read path stamped the *live*
 #: configuration id instead of the one captured when the session routed,
@@ -205,4 +210,93 @@ class TestLockOrderInversionInjection:
                                   rules=[LockOrderInversion()])
         assert [f.code for f in findings] == ["GEM008"]
         assert "redlease" in findings[0].message
+
+
+#: The wire registry's LeaseBackoff entry: both live RPC surfaces
+#: (PersistentCacheInstance and LiveCoordinator) can raise it through
+#: the lease table, so deleting the registration reopens the bug the
+#: registry exists to prevent — a busy lease decoding as an opaque
+#: ReproError, which clients do not back off on.
+LEASE_ENTRY = '    "LeaseBackoff": (LeaseBackoff, ("key",)),\n'
+
+
+class TestWireRegistryDropRevert:
+    def test_fixed_wire_module_is_clean(self):
+        findings = analyze_source(WIRE.read_text(), path=str(WIRE),
+                                  rules=[ExceptionFlowClosure()])
+        assert findings == []
+
+    def test_dropped_lease_backoff_entry_fires_gem011(self):
+        source = WIRE.read_text()
+        assert LEASE_ENTRY in source, "registry anchor moved; update test"
+        bugged = source.replace(LEASE_ENTRY, "", 1)
+        findings = analyze_source(bugged, path=str(WIRE),
+                                  rules=[ExceptionFlowClosure()])
+        # Both served surfaces leak it: the cache instance and the
+        # coordinator.
+        assert [f.code for f in findings] == ["GEM011", "GEM011"]
+        surfaces = " ".join(f.message for f in findings)
+        assert "LeaseBackoff" in findings[0].message
+        assert "PersistentCacheInstance.handle_request" in surfaces
+        assert "LiveCoordinator.handle_request" in surfaces
+
+
+#: The journal-before-ack contract in the persistent instance: every
+#: storage hook appends synchronously, so the record is durable before
+#: NodeServer writes the reply envelope.
+JOURNAL_PUT = ('        self._journal_record(["put", key, value, '
+               'config_id, value_size])\n')
+JOURNAL_DEFERRED = ('        get_event_loop().call_soon(\n'
+                    '            self._journal_record,\n'
+                    '            ["put", key, value, config_id, '
+                    'value_size])\n')
+
+
+class TestJournalBeforeAckRevert:
+    def test_fixed_node_module_is_clean(self):
+        findings = analyze_source(NODE.read_text(), path="node.py",
+                                  rules=[JournalBeforeAck()])
+        assert findings == []
+
+    def test_removed_store_append_fires_gem012(self):
+        source = NODE.read_text()
+        assert JOURNAL_PUT in source, "journal anchor moved; update test"
+        bugged = source.replace(JOURNAL_PUT, "", 1)
+        findings = analyze_source(bugged, path="node.py",
+                                  rules=[JournalBeforeAck()])
+        assert [f.code for f in findings] == ["GEM012"]
+        assert "PersistentCacheInstance._store" in findings[0].message
+
+    def test_deferred_store_append_fires_gem012(self):
+        # Scheduling the append instead of calling it reorders persist
+        # after ack: the classic crash window, caught statically.
+        source = NODE.read_text()
+        assert JOURNAL_PUT in source, "journal anchor moved; update test"
+        bugged = source.replace(JOURNAL_PUT, JOURNAL_DEFERRED, 1)
+        findings = analyze_source(bugged, path="node.py",
+                                  rules=[JournalBeforeAck()])
+        codes = [f.code for f in findings]
+        assert codes == ["GEM012", "GEM012"]
+        messages = " ".join(f.message for f in findings)
+        assert "scheduler or callback" in messages
+        assert "PersistentCacheInstance._store" in messages
+
+
+class TestWireSchemaDriftRevert:
+    def test_fixed_wire_module_matches_snapshot(self):
+        findings = analyze_source(WIRE.read_text(), path=str(WIRE),
+                                  rules=[WireSchemaDrift()])
+        assert findings == []
+
+    def test_codec_edit_without_bump_fires_gem014(self):
+        # The drift gate's whole point: editing a registry without
+        # regenerating the snapshot (and bumping WIRE_VERSION) fails.
+        source = WIRE.read_text()
+        assert LEASE_ENTRY in source, "registry anchor moved; update test"
+        bugged = source.replace(LEASE_ENTRY, "", 1)
+        findings = analyze_source(bugged, path=str(WIRE),
+                                  rules=[WireSchemaDrift()])
+        assert [f.code for f in findings] == ["GEM014"]
+        assert "LeaseBackoff gone from codec" in findings[0].message
+        assert "WIRE_VERSION bump" in findings[0].message
 

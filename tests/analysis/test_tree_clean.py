@@ -11,10 +11,21 @@ from pathlib import Path
 from repro.analysis.core import analyze_paths
 from repro.analysis.reporters import render_text
 
-SRC = str(Path(__file__).resolve().parents[2] / "src")
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src")
+TESTS = str(REPO / "tests")
 
 
 def test_src_tree_is_clean():
     result = analyze_paths([SRC])
     assert result.files_checked > 50
+    assert result.ok, "\n" + render_text(result)
+
+
+def test_full_tree_including_tests_is_clean():
+    # tools/check_lint_baseline.py sweeps src/ and tests/ together; the
+    # suite pins the same contract so a dirty test fixture fails here
+    # before the pre-commit hook ever sees it.
+    result = analyze_paths([SRC, TESTS])
+    assert result.files_checked > 150
     assert result.ok, "\n" + render_text(result)

@@ -1,0 +1,53 @@
+"""Frame-size cap boundary behavior (both edges, both directions).
+
+The cap is a protocol constant: a frame of exactly ``MAX_FRAME`` bytes
+is legal, one byte more is a protocol error. The error message must
+name the offending size and the cap, because it is all the operator
+gets when a peer (or a corrupt length header) trips the limit.
+"""
+
+import pytest
+
+from repro.live.wire import MAX_FRAME, Framer, WireError, pack_frame
+
+
+class TestPackFrameCap:
+    def test_accepts_payload_of_exactly_max_frame(self):
+        payload = b"\x00" * MAX_FRAME
+        frame = pack_frame(payload)
+        assert len(frame) == 4 + MAX_FRAME
+        assert int.from_bytes(frame[:4], "big") == MAX_FRAME
+
+    def test_rejects_payload_one_byte_over(self):
+        with pytest.raises(WireError) as excinfo:
+            pack_frame(b"\x00" * (MAX_FRAME + 1))
+        message = str(excinfo.value)
+        assert str(MAX_FRAME + 1) in message
+        assert f"{MAX_FRAME}-byte cap" in message
+
+
+class TestFramerCap:
+    def test_accepts_frame_of_exactly_max_frame(self):
+        payload = b"x" * MAX_FRAME
+        framer = Framer()
+        frames = framer.feed(MAX_FRAME.to_bytes(4, "big") + payload)
+        assert frames == [payload]
+
+    def test_rejects_header_announcing_one_byte_over(self):
+        # The header alone must trip the check: the peer's announced
+        # length is rejected before any payload is buffered.
+        framer = Framer()
+        with pytest.raises(WireError) as excinfo:
+            framer.feed((MAX_FRAME + 1).to_bytes(4, "big"))
+        message = str(excinfo.value)
+        assert str(MAX_FRAME + 1) in message
+        assert f"{MAX_FRAME}-byte cap" in message
+
+    def test_cap_frame_survives_chunked_delivery(self):
+        payload = b"y" * MAX_FRAME
+        data = MAX_FRAME.to_bytes(4, "big") + payload
+        framer = Framer()
+        split = len(data) // 3
+        assert framer.feed(data[:split]) == []
+        assert framer.feed(data[split:2 * split]) == []
+        assert framer.feed(data[2 * split:]) == [payload]

@@ -134,6 +134,7 @@ class TestStaleConfigFetchAbort:
             fragment_id, secondary, cfg))
         assert keys is None
 
+    # geminilint: disable=GEM003 -- delete_dirty here simulates eviction; no recovery pass (hence no Redlease) is running
     def test_fetch_falls_back_to_coordinator_copy(self):
         """An evicted dirty list is served from the coordinator's copy,
         which is a plain (possibly empty) key list — not None."""

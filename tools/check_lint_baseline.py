@@ -34,7 +34,7 @@ from typing import List
 REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "ci" / "geminilint-baseline.txt"
 UNSEEDED_MARKER = "# unseeded"
-DEFAULT_PATHS = ["src"]
+DEFAULT_PATHS = ["src", "tests"]
 
 sys.path.insert(0, str(REPO / "src"))
 
@@ -62,7 +62,8 @@ def normalize(report: dict) -> List[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("paths", nargs="*", default=None,
-                        help="files or directories to lint (default: src)")
+                        help="files or directories to lint "
+                             "(default: src tests)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite ci/geminilint-baseline.txt from "
                              "this run")

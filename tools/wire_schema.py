@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Wire-schema snapshot: the codec's contract as a committed artifact.
+
+``ci/wire-schema.json`` is a canonical JSON description of everything
+:mod:`repro.live.wire` can put on a TCP connection — the dataclass
+registry (with field names), the exception registry (with constructor
+attributes), the special forms, the envelope kinds, the frame cap, and
+``WIRE_VERSION``. Two gates consume it:
+
+* **GEM014** (geminilint) compares the codec source against the
+  snapshot lexically on every sweep.
+* This tool's ``--check`` mode recomputes the snapshot by importing the
+  real codec and diffs it against the committed file (the CI analysis
+  job and the pre-commit hook run this).
+
+The point is that an unacknowledged wire change cannot land: editing a
+registry without regenerating the snapshot fails ``--check``, and
+regenerating without bumping ``WIRE_VERSION`` is refused by ``--write``
+(old and new processes would speak incompatible dialects under the same
+version number; see docs/LIVE_RUNTIME.md).
+
+Usage::
+
+    python tools/wire_schema.py --check    # gate (CI / pre-commit)
+    python tools/wire_schema.py --write    # regenerate after a bump
+    python tools/wire_schema.py --write --force   # override the bump gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "ci" / "wire-schema.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def build_snapshot() -> Dict[str, Any]:
+    """The current codec's schema, by importing it."""
+    from repro.live import wire
+    return {
+        "wire_version": wire.WIRE_VERSION,
+        "max_frame": wire.MAX_FRAME,
+        "envelope_kinds": list(wire.ENVELOPE_KINDS),
+        "special_forms": list(wire.WIRE_SPECIAL_FORMS),
+        "dataclasses": {
+            name: [field.name for field in dataclasses.fields(cls)]
+            for name, cls in sorted(wire._DATACLASSES.items())
+        },
+        "errors": {
+            name: {"class": cls.__name__, "attrs": list(attrs)}
+            for name, (cls, attrs) in sorted(wire._ERRORS.items())
+        },
+    }
+
+
+def render(snapshot: Dict[str, Any]) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def load_snapshot(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _registries_only(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Everything except the version: what a bump must accompany."""
+    return {key: value for key, value in snapshot.items()
+            if key != "wire_version"}
+
+
+def diff_problems(current: Dict[str, Any],
+                  committed: Dict[str, Any]) -> List[str]:
+    """Human-readable differences, most specific first."""
+    problems: List[str] = []
+    for section in ("dataclasses", "errors"):
+        here = current.get(section, {})
+        there = committed.get(section, {})
+        for name in sorted(set(here) - set(there)):
+            problems.append(f"{section[:-1]} {name} is new")
+        for name in sorted(set(there) - set(here)):
+            problems.append(f"{section[:-1]} {name} was removed")
+        for name in sorted(set(here) & set(there)):
+            if here[name] != there[name]:
+                problems.append(
+                    f"{section[:-1]} {name} changed: "
+                    f"{there[name]} -> {here[name]}")
+    for key in ("max_frame", "envelope_kinds", "special_forms"):
+        if current.get(key) != committed.get(key):
+            problems.append(
+                f"{key} changed: {committed.get(key)} -> "
+                f"{current.get(key)}")
+    return problems
+
+
+def check(snapshot_path: Path) -> int:
+    current = build_snapshot()
+    committed = load_snapshot(snapshot_path)
+    if committed is None:
+        print(f"no committed snapshot at {snapshot_path}; generate one "
+              f"with: python tools/wire_schema.py --write")
+        return 1
+    problems = diff_problems(current, committed)
+    version = current["wire_version"]
+    committed_version = committed.get("wire_version")
+    if problems:
+        print("wire schema drifted from the committed snapshot:")
+        for problem in problems:
+            print(f"  {problem}")
+        if version == committed_version:
+            print("WIRE_VERSION was not bumped: old and new peers would "
+                  "disagree under the same version number.")
+            print("Fix: bump WIRE_VERSION in src/repro/live/wire.py, then "
+                  "run: python tools/wire_schema.py --write")
+        else:
+            print("Fix: python tools/wire_schema.py --write")
+        return 1
+    if version != committed_version:
+        print(f"WIRE_VERSION is {version} but the snapshot records "
+              f"{committed_version}; regenerate with: "
+              f"python tools/wire_schema.py --write")
+        return 1
+    print(f"wire schema matches ci/wire-schema.json "
+          f"(version {version}, {len(current['dataclasses'])} dataclasses, "
+          f"{len(current['errors'])} errors)")
+    return 0
+
+
+def write(snapshot_path: Path, force: bool) -> int:
+    current = build_snapshot()
+    committed = load_snapshot(snapshot_path)
+    if committed is not None and not force:
+        changed = _registries_only(current) != _registries_only(committed)
+        if changed and current["wire_version"] == committed.get(
+                "wire_version"):
+            print("refusing to overwrite the snapshot: the codec changed "
+                  "but WIRE_VERSION did not.")
+            print("Bump WIRE_VERSION in src/repro/live/wire.py first "
+                  "(or pass --force if this really is not a wire change).")
+            return 1
+    snapshot_path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot_path.write_text(render(current), encoding="utf-8")
+    print(f"wrote {snapshot_path} (version {current['wire_version']})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check or regenerate the committed wire-schema "
+                    "snapshot")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="diff the live codec against the snapshot")
+    mode.add_argument("--write", action="store_true",
+                      help="regenerate the snapshot from the live codec")
+    parser.add_argument("--force", action="store_true",
+                        help="with --write: skip the version-bump guard")
+    parser.add_argument("--snapshot", type=Path, default=SNAPSHOT,
+                        help="snapshot path (default: ci/wire-schema.json)")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.snapshot)
+    return write(args.snapshot, force=args.force)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
